@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+
+	"waitfree/internal/homology"
+	"waitfree/internal/protocol"
+	"waitfree/internal/topology"
+)
+
+// cmdComplex reproduces Lemmas 3.2 and 3.3: it enumerates the executions of
+// the b-round iterated immediate snapshot full-information protocol, builds
+// the view complex, and compares it with SDS^b(sⁿ).
+func cmdComplex(args []string) error {
+	fs := newFlagSet("complex")
+	n := fs.Int("n", 2, "dimension (processes − 1)")
+	b := fs.Int("b", 2, "maximum rounds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n > 3 || *b > 3 || (*n >= 3 && *b >= 2) {
+		return fmt.Errorf("complex enumeration is exponential; use n ≤ 3, b ≤ 3 (and n·b small)")
+	}
+
+	fmt.Printf("view complexes of the %d-round IIS full-information protocol, %d processes\n", *b, *n+1)
+	for r := 0; r <= *b; r++ {
+		vc := protocol.ViewComplex(*n, r)
+		sds := topology.SDSPow(topology.Simplex(*n), r)
+		eq := vc.Equal(sds)
+		fmt.Printf("  b=%d: f-vector %v, facets %d, SDS^%d match: %v\n",
+			r, vc.FVector(), len(vc.Facets()), r, eq)
+		if !eq {
+			return fmt.Errorf("view complex differs from SDS^%d — Lemma 3.3 violated", r)
+		}
+	}
+
+	fmt.Println("one-shot outcomes by IS properties vs ordered partitions (Lemma 3.2):")
+	for m := 1; m <= min(*n+1, 4); m++ {
+		props := len(protocol.AllISOutputs(m))
+		parts := topology.CountOrderedPartitions(m)
+		fmt.Printf("  m=%d participants: %d property-satisfying outcomes, Fubini(%d)=%d\n", m, props, m, parts)
+	}
+	return nil
+}
+
+// cmdHomology reproduces the computational instances of Lemma 2.2: Betti
+// numbers of subdivided simplices over GF(2).
+func cmdHomology(args []string) error {
+	fs := newFlagSet("homology")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cases := []struct {
+		name string
+		c    *topology.Complex
+	}{
+		{"s2", topology.Simplex(2)},
+		{"SDS(s1)", topology.SDS(topology.Simplex(1))},
+		{"SDS(s2)", topology.SDS(topology.Simplex(2))},
+		{"SDS2(s2)", topology.SDSPow(topology.Simplex(2), 2)},
+		{"SDS(s3)", topology.SDS(topology.Simplex(3))},
+		{"Bsd(s2)", topology.Bsd(topology.Simplex(2))},
+		{"Bsd2(s2)", topology.BsdPow(topology.Simplex(2), 2)},
+	}
+	fmt.Println("GF(2) Betti numbers (Lemma 2.2: subdivided simplices have no holes)")
+	for _, tc := range cases {
+		betti := homology.BettiNumbers(tc.c)
+		fmt.Printf("  %-10s f=%v  Betti=%v  acyclic=%v\n",
+			tc.name, tc.c.FVector(), betti, homology.IsAcyclic(tc.c))
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

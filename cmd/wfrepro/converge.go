@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+
+	"waitfree/internal/converge"
+	"waitfree/internal/topology"
+)
+
+// cmdConverge reproduces Theorem 5.1: find a color- and carrier-preserving
+// simplicial map SDS^k(sⁿ) → A for a sample chromatic subdivision A, then
+// run distributed chromatic simplex agreement (CSASS) over the real IIS
+// runtime using that map.
+func cmdConverge(args []string) error {
+	fs := newFlagSet("converge")
+	n := fs.Int("n", 2, "dimension (processes − 1)")
+	target := fs.Int("target", 1, "target subdivision A = SDS^target(sⁿ)")
+	trials := fs.Int("trials", 10, "distributed agreement runs")
+	maxK := fs.Int("maxk", 3, "maximum level to search")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := topology.Simplex(*n)
+	a := topology.SDSPow(base, *target)
+	fmt.Printf("Theorem 5.1: searching for SDS^k(s%d) → SDS^%d(s%d), k ≤ %d\n", *n, *target, *n, *maxK)
+	phi, k, err := converge.FindChromaticMap(base, a, *maxK)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  found at k = %d: simplicial=%v colorPreserving=%v carrierRespecting=%v\n",
+		k, phi.Validate() == nil, phi.ColorPreserving(), phi.CarrierRespecting())
+
+	procs := *n + 1
+	all := make([]topology.Vertex, procs)
+	for i := range all {
+		all[i] = topology.Vertex(i)
+	}
+	fmt.Printf("CSASS runtime: %d processes converge on a simplex of A via %d IIS rounds\n", procs, k)
+	for t := 0; t < *trials; t++ {
+		res, err := converge.RunSimplexAgreement(phi, k, procs, nil)
+		if err != nil {
+			return err
+		}
+		if err := converge.ValidateAgreement(a, res, all); err != nil {
+			return fmt.Errorf("trial %d: %w", t, err)
+		}
+	}
+	fmt.Printf("  %d/%d runs converged to simplices of A with carriers inside the participants\n", *trials, *trials)
+
+	bsd := topology.Bsd(base)
+	if _, kb, err := converge.FindCarrierMap(base, bsd, *maxK); err == nil {
+		fmt.Printf("Lemma 5.3: carrier-preserving SDS^%d(s%d) → Bsd(s%d) found\n", kb, *n, *n)
+	}
+
+	fmt.Println("mesh of the Lemma 3.2 embedding (the quantitative “k large enough”):")
+	maxMeshB := 3
+	if *n >= 2 {
+		maxMeshB = 2
+	}
+	if *n >= 3 {
+		maxMeshB = 1
+	}
+	for b := 1; b <= maxMeshB; b++ {
+		c, emb, err := topology.EmbedSDSPow(*n, b)
+		if err != nil {
+			return err
+		}
+		mesh, err := topology.Mesh(c, emb)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  mesh(SDS^%d(s%d)) = %.4f (%d facets)\n", b, *n, mesh, len(c.Facets()))
+	}
+	return nil
+}

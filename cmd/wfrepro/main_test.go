@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSubcommandsRun exercises every CLI path with small parameters; each
+// subcommand validates its own experiment and returns an error on any
+// property violation, so "no error" is a meaningful check.
+func TestSubcommandsRun(t *testing.T) {
+	cases := [][]string{
+		{"emulate", "-n", "2", "-k", "2", "-trials", "1"},
+		{"emulate", "-n", "2", "-k", "2", "-trials", "1", "-crash", "0", "-show"},
+		{"complex", "-n", "2", "-b", "1"},
+		{"homology"},
+		{"solve", "-maxb", "1"},
+		{"twoproc"},
+		{"converge", "-n", "1", "-target", "1", "-trials", "2", "-maxk", "2"},
+		{"rename", "-n", "3", "-trials", "2"},
+		{"bg", "-sim", "2", "-m", "3", "-f", "1", "-crashes", "0", "-trials", "1"},
+		{"bound", "-n", "2"},
+		{"modelcheck", "-n", "3"},
+		{"sperner", "-n", "2", "-b", "1", "-samples", "5"},
+		{"ncsac", "-path", "3", "-trials", "2"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, "_"), func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownAndEmpty(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("empty args should fail")
+	}
+	if err := run([]string{"nonsense"}); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+}
+
+func TestGuardsRejectExplosiveParameters(t *testing.T) {
+	if err := run([]string{"complex", "-n", "3", "-b", "3"}); err == nil {
+		t.Error("oversized complex enumeration should be rejected")
+	}
+	if err := run([]string{"sperner", "-n", "3", "-b", "3"}); err == nil {
+		t.Error("oversized Sperner instance should be rejected")
+	}
+	if err := run([]string{"bg", "-crashes", "3", "-f", "1"}); err == nil {
+		t.Error("crashes > f should be rejected (would block)")
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"waitfree/internal/converge"
+	"waitfree/internal/topology"
+)
+
+// cmdSperner samples random Sperner labelings of SDS^b(sⁿ) and reports
+// panchromatic-facet counts — the engine of the set-consensus impossibility.
+func cmdSperner(args []string) error {
+	fs := newFlagSet("sperner")
+	n := fs.Int("n", 2, "dimension (processes − 1)")
+	b := fs.Int("b", 2, "subdivision level")
+	samples := fs.Int("samples", 20, "random labelings to draw")
+	seed := fs.Int64("seed", 1, "PRNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n > 3 || *b > 3 || (*n >= 3 && *b >= 2) {
+		return fmt.Errorf("keep n ≤ 3, b ≤ 3 (and n·b small): SDS^b grows exponentially")
+	}
+	c := topology.SDSPow(topology.Simplex(*n), *b)
+	rng := rand.New(rand.NewSource(*seed))
+
+	fmt.Printf("Sperner's lemma on SDS^%d(s%d) (%d facets): panchromatic counts must be odd\n",
+		*b, *n, len(c.Facets()))
+	counts := map[int]int{}
+	min := len(c.Facets())
+	for s := 0; s < *samples; s++ {
+		label := topology.RandomSpernerLabeling(c, rng)
+		k, err := topology.CountPanchromatic(c, label)
+		if err != nil {
+			return err
+		}
+		if k%2 == 0 {
+			return fmt.Errorf("even panchromatic count %d — Sperner violated?!", k)
+		}
+		counts[k]++
+		if k < min {
+			min = k
+		}
+	}
+	fmt.Printf("  %d samples, all odd; minimum observed %d; distribution: %v\n", *samples, min, counts)
+	nat, _ := topology.CountPanchromatic(c, topology.NaturalLabeling(c))
+	fmt.Printf("  the chromatic coloring itself makes every facet panchromatic: %d\n", nat)
+	return nil
+}
+
+// cmdNCSAC compiles and runs §5's non-chromatic simplex agreement over a
+// path complex.
+func cmdNCSAC(args []string) error {
+	fs := newFlagSet("ncsac")
+	length := fs.Int("path", 3, "vertices in the target path complex")
+	trials := fs.Int("trials", 10, "distributed runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := topology.NewComplex()
+	var vs []topology.Vertex
+	for i := 0; i < *length; i++ {
+		vs = append(vs, c.MustAddVertex(fmt.Sprintf("a%d", i), topology.Uncolored))
+	}
+	for i := 0; i+1 < len(vs); i++ {
+		c.MustAddSimplex(vs[i], vs[i+1])
+	}
+	c.Seal()
+
+	fmt.Printf("NCSAC over a %d-vertex path (connected ⇒ solvable, §5)\n", *length)
+	sol, err := converge.SolveNCSACTwoProcess(c, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  decision map compiled at level %d\n", sol.K)
+	inputs := [2]topology.Vertex{0, topology.Vertex(*length - 1)}
+	for tr := 0; tr < *trials; tr++ {
+		out, err := converge.RunNCSAC(sol, inputs, nil)
+		if err != nil {
+			return err
+		}
+		if err := converge.ValidateNCSAC(sol, inputs, out, -1); err != nil {
+			return err
+		}
+		fmt.Printf("  trial %d: opposite-end inputs converged to (%s, %s)\n",
+			tr, c.Key(out[0]), c.Key(out[1]))
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package waitfree is a from-scratch Go reproduction of Borowsky & Gafni,
+// "A Simple Algorithmically Reasoned Characterization of Wait-free
+// Computations" (PODC 1997).
+//
+// The library lives in internal packages, organized by the paper's own
+// structure:
+//
+//   - internal/register  — SWMR registers and wait-free atomic snapshots (§3.1)
+//   - internal/immediate — one-shot immediate snapshot objects (§3.4)
+//   - internal/iis       — the iterated immediate snapshot model (§3.5)
+//   - internal/core      — Figure 1, and the paper's main result: the Figure 2
+//     emulation of atomic snapshot memory over iterated
+//     immediate snapshots (Proposition 4.1)
+//   - internal/topology  — chromatic complexes, SDS, Bsd, simplicial maps (§2)
+//   - internal/homology  — GF(2) Betti numbers ("no holes", Lemma 2.2)
+//   - internal/protocol  — view complexes = SDS^b (Lemmas 3.2/3.3), the
+//     König-tree bound of Lemma 3.1
+//   - internal/tasks     — tasks as (I, O, Δ) triples plus runtime algorithms
+//   - internal/solver    — the Proposition 3.1 solvability checker
+//   - internal/converge  — Theorem 5.1 map search and simplex agreement (§5)
+//   - internal/bg        — safe agreement and the BG simulation
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go regenerate every experiment; cmd/wfrepro drives them from
+// the shell; examples/ holds six runnable walkthroughs.
+package waitfree

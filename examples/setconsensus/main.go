@@ -1,0 +1,54 @@
+// Set consensus: the task that separated resilience levels (§1).
+//
+// Three things side by side:
+//  1. the Proposition 3.1 checker proving (3,2)-set consensus wait-free
+//     UNSOLVABLE (no decision map at the checked levels — Sperner's lemma
+//     in disguise),
+//  2. the f-resilient protocol (f < k) running successfully when at most f
+//     processes crash — the positive side of Chaudhuri's conjecture,
+//  3. a BG simulation driving the same protocol from fewer simulators.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waitfree/internal/bg"
+	"waitfree/internal/solver"
+	"waitfree/internal/tasks"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. The impossibility, via the characterization.
+	task := tasks.SetConsensus(3, 2)
+	res, err := solver.SolveUpTo(task, 1, solver.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checker: %s solvable=%v at levels ≤ %d (%d nodes explored)\n",
+		task.Name, res.Solvable, res.Level, res.Nodes)
+
+	// 2. The f-resilient protocol, f=1 < k=2 — solvable with waiting.
+	inputs := []int{30, 10, 20, 40}
+	run1, err := tasks.RunFResilientSetConsensus(inputs, 1, []bool{false, false, true, false})
+	if err != nil {
+		return err
+	}
+	if err := tasks.ValidateSetConsensus(inputs, run1, 2); err != nil {
+		return err
+	}
+	fmt.Printf("1-resilient run with one crash: decisions %v (≤ 2 distinct, all inputs)\n", run1.Decisions)
+
+	// 3. BG simulation: 3 simulators, 5 simulated processes, 2-resilient.
+	sim := bg.NewSimulation(3, 5, &bg.SetConsensusCode{MProc: 5, F: 2, Inputs: []int{7, 5, 9}})
+	bgRes := sim.RunAll([]int{4, -1, -1}) // one simulator crashes (≤ f)
+	fmt.Printf("BG simulation with one simulator crash: adopted %v, %d simulated decisions\n",
+		bgRes.Adopted, len(bgRes.Simulated))
+	return nil
+}

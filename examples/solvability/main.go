@@ -1,0 +1,121 @@
+// Solvability: using the characterization as a library decision procedure.
+//
+// Builds a custom task from scratch — "or-agreement": two processes with
+// binary inputs must agree on the logical OR of the participating inputs —
+// and asks the Proposition 3.1 checker whether it is wait-free solvable.
+// (It is not: a process that runs solo with input 0 must output 0, one with
+// input 1 must output 1, and agreement propagates the contradiction exactly
+// as in consensus.) A relaxed variant that drops the agreement requirement
+// is then shown solvable at level 0.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waitfree/internal/solver"
+	"waitfree/internal/tasks"
+	"waitfree/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildOrTask constructs the or-agreement task: I = binary inputs for two
+// processes; O = unanimous binary outputs when agree, all combinations when
+// not; Δ = the output must equal the OR of the inputs present in the
+// carrier.
+func buildOrTask(agree bool) *tasks.Task {
+	in := topology.NewComplex()
+	out := topology.NewComplex()
+	inVal := map[topology.Vertex]string{}
+	outVal := map[topology.Vertex]string{}
+
+	addFacet := func(c *topology.Complex, vals map[topology.Vertex]string, prefix string, a, b string) {
+		v0 := c.MustAddVertex(prefix+"(P0="+a+")", 0)
+		v1 := c.MustAddVertex(prefix+"(P1="+b+")", 1)
+		vals[v0], vals[v1] = a, b
+		c.MustAddSimplex(v0, v1)
+	}
+	for _, a := range []string{"0", "1"} {
+		for _, b := range []string{"0", "1"} {
+			addFacet(in, inVal, "in", a, b)
+			if !agree || a == b {
+				addFacet(out, outVal, "out", a, b)
+			}
+		}
+	}
+	in.Seal()
+	out.Seal()
+
+	name := "or-agreement"
+	if !agree {
+		name = "or-weak"
+	}
+	return &tasks.Task{
+		Name:    name,
+		Procs:   2,
+		Inputs:  in,
+		Outputs: out,
+		Allowed: func(input, output []topology.Vertex) bool {
+			or := "0"
+			own := map[int]string{}
+			for _, v := range input {
+				if inVal[v] == "1" {
+					or = "1"
+				}
+				own[in.Color(v)] = inVal[v]
+			}
+			for _, w := range output {
+				got := outVal[w]
+				if agree {
+					// Strict: every output must be the OR of all
+					// participating inputs.
+					if got != or {
+						return false
+					}
+					continue
+				}
+				// Weak: each process outputs the OR of some set of inputs
+				// it might have seen — anything between its own input and
+				// the full OR.
+				if got != or && got != own[out.Color(w)] {
+					return false
+				}
+			}
+			return true
+		},
+		InputValue:  func(v topology.Vertex) string { return inVal[v] },
+		OutputValue: func(v topology.Vertex) string { return outVal[v] },
+	}
+}
+
+func run() error {
+	strict := buildOrTask(true)
+	res, err := solver.SolveUpTo(strict, 2, solver.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("or-agreement (must agree on OR of participating inputs):\n")
+	fmt.Printf("  solvable=%v after checking levels 0..%d (%d nodes)\n", res.Solvable, res.Level, res.Nodes)
+	fmt.Println("  — unsolvable: a solo 0 must output 0, a solo 1 must output 1, and")
+	fmt.Println("    agreement carries the contradiction along the subdivided edge.")
+
+	relaxed := buildOrTask(false)
+	res, err = solver.SolveUpTo(relaxed, 2, solver.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nweak variant (each decides the OR of inputs it might have seen):\n")
+	fmt.Printf("  solvable=%v at level %d\n", res.Solvable, res.Level)
+	if res.Solvable {
+		if err := solver.VerifyDecisionMap(relaxed, res); err != nil {
+			return err
+		}
+		fmt.Println("  decision map verified: simplicial, color-preserving, Δ-respecting")
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module waitfree
+
+go 1.22

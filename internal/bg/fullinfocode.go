@@ -1,0 +1,52 @@
+package bg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FullInfoCode is the paper's Figure 1 protocol as a simulated Code: each
+// simulated process performs K shots of write-then-snapshot, writing the
+// encoding of its last view (full information), and decides the encoding of
+// its final view. Running it under the BG simulation closes the loop: the
+// simulators jointly produce a legal atomic snapshot execution of Figure 1
+// (audited by ValidateSimulatedExecution), mirroring how the paper's §4
+// emulation produces one inside the IIS model.
+type FullInfoCode struct {
+	K int
+}
+
+var _ Code = (*FullInfoCode)(nil)
+
+// ProposeInput seeds simulated inputs from the simulator's identity.
+func (c *FullInfoCode) ProposeInput(simulator int) string {
+	return "in" + strconv.Itoa(simulator)
+}
+
+// Next writes the encoded view each step and decides after K snapshots.
+func (c *FullInfoCode) Next(p, step int, view []Cell) (string, *int) {
+	if step >= c.K {
+		// Decide: the decision payload is conventionally an int; return the
+		// number of non-empty cells observed (the "knowledge breadth").
+		seen := 0
+		for _, cell := range view {
+			if cell.Step > 0 {
+				seen++
+			}
+		}
+		return "", &seen
+	}
+	return encodeView(view), nil
+}
+
+func encodeView(view []Cell) string {
+	parts := make([]string, 0, len(view))
+	for p, cell := range view {
+		if cell.Step == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%d@%d=%s", p, cell.Step, strconv.Quote(cell.Val)))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,60 @@
+package bg
+
+import "strconv"
+
+// SetConsensusCode is the f-resilient (f+1)-set consensus protocol as a
+// simulated Code: every simulated process writes its (agreed) input and then
+// snapshots until at least MProc−F inputs are visible, deciding the minimum
+// input seen. With at most F simulated processes blocked, every other
+// simulated process decides, and at most F+1 distinct values are decided
+// (the m-th smallest input can be a minimum only if the m−1 smaller ones are
+// unseen, which needs m−1 ≤ F).
+//
+// Under BG simulation, simulators with at most F crashes drive this code to
+// completion: each crashed simulator blocks at most one simulated process
+// inside a safe agreement. Inputs is indexed by simulator id: a simulated
+// process's input is whichever simulator's proposal wins its step-0
+// agreement.
+type SetConsensusCode struct {
+	MProc  int
+	F      int
+	Inputs []int // one per simulator
+}
+
+var _ Code = (*SetConsensusCode)(nil)
+
+// ProposeInput returns the simulator's own input as its proposal for any
+// simulated process.
+func (c *SetConsensusCode) ProposeInput(simulator int) string {
+	return strconv.Itoa(c.Inputs[simulator])
+}
+
+// Next waits (by re-writing its input, keeping the protocol full-information
+// shaped) until mProc−f inputs are visible, then decides the minimum.
+func (c *SetConsensusCode) Next(p, step int, view []Cell) (string, *int) {
+	seen := 0
+	min := 0
+	first := true
+	for _, cell := range view {
+		if cell.Step == 0 {
+			continue
+		}
+		v, err := strconv.Atoi(cell.Val)
+		if err != nil {
+			continue // foreign value; ignore defensively
+		}
+		seen++
+		if first || v < min {
+			min = v
+			first = false
+		}
+	}
+	if seen >= c.MProc-c.F {
+		d := min
+		return "", &d
+	}
+	// Not enough inputs visible yet: re-write the own cell's current value
+	// (a no-op write keeps the simulated process taking steps without
+	// changing state).
+	return view[p].Val, nil
+}

@@ -1,0 +1,148 @@
+package converge
+
+import (
+	"fmt"
+
+	"waitfree/internal/protocol"
+	"waitfree/internal/topology"
+)
+
+// NCSACSolution is a compiled solution of the paper's NCSAC task
+// (non-chromatic simplex agreement over a complex with no holes, §5) for
+// two processes: the input complex I (vertices = (process, vertex-of-C)
+// pairs, facets = all input combinations), the decision map
+// φ : SDS^K(I) → C, and the level K.
+type NCSACSolution struct {
+	C   *topology.Complex // the target complex
+	I   *topology.Complex // the input complex
+	Phi *topology.SimplicialMap
+	K   int
+}
+
+// ncsacInputKey names input-complex vertices from C's own vertex keys, so
+// runtime initial states and SDS^K(I) vertex keys line up.
+func ncsacInputKey(proc int, cKey string) string {
+	return fmt.Sprintf("in(P%d=%s)", proc, cKey)
+}
+
+// SolveNCSACTwoProcess compiles the two-process NCSAC task over c: each
+// process holds any vertex of c as input; outputs must span a simplex of c;
+// a process that runs solo must output its own input.
+//
+// For two processes the paper's "no holes of dimension < n+1" hypothesis is
+// connectivity (every image of an S⁰ — two points — has a fill-in, i.e. a
+// path). The search finds the decision map at increasing levels; it fails
+// with ErrNotFound if c is disconnected (the task is then unsolvable: a
+// solo-started pair with inputs in different components has no joint
+// simplex reachable without violating the solo condition).
+func SolveNCSACTwoProcess(c *topology.Complex, maxK int) (*NCSACSolution, error) {
+	const procs = 2
+	if !c.IsConnected() {
+		// Fail fast with the topological reason rather than exhausting the
+		// level search: two solo-constrained inputs in different components
+		// can never meet on a simplex.
+		return nil, fmt.Errorf("%w: target complex is disconnected (%d components) — the no-holes hypothesis fails",
+			ErrNotFound, len(c.ConnectedComponents()))
+	}
+	// Build the input complex: every pair of C-vertices is a legal input.
+	in := topology.NewComplex()
+	var cOf []topology.Vertex // input vertex → C vertex
+	for v := 0; v < c.NumVertices(); v++ {
+		for p := 0; p < procs; p++ {
+			iv := in.MustAddVertex(ncsacInputKey(p, c.Key(topology.Vertex(v))), p)
+			for len(cOf) <= int(iv) {
+				cOf = append(cOf, 0)
+			}
+			cOf[iv] = topology.Vertex(v)
+		}
+	}
+	for v0 := 0; v0 < c.NumVertices(); v0++ {
+		for v1 := 0; v1 < c.NumVertices(); v1++ {
+			a, _ := in.VertexByKey(ncsacInputKey(0, c.Key(topology.Vertex(v0))))
+			b, _ := in.VertexByKey(ncsacInputKey(1, c.Key(topology.Vertex(v1))))
+			in.MustAddSimplex(a, b)
+		}
+	}
+	in.Seal()
+
+	// Domain of a subdivision vertex: if its carrier is a single input
+	// vertex (a solo view), it must decide that input's C-vertex; otherwise
+	// any vertex of C.
+	domainFor := func(sub *topology.Complex, v topology.Vertex) []topology.Vertex {
+		carrier := sub.Carrier(v)
+		if len(carrier) == 1 {
+			return []topology.Vertex{cOf[carrier[0]]}
+		}
+		all := make([]topology.Vertex, c.NumVertices())
+		for w := range all {
+			all[w] = topology.Vertex(w)
+		}
+		return all
+	}
+
+	sub := in
+	for k := 0; k <= maxK; k++ {
+		if k > 0 {
+			sub = topology.SDS(sub)
+		}
+		if m, ok := searchMap(sub, c, domainFor); ok {
+			return &NCSACSolution{C: c, I: in, Phi: m, K: k}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (maxK=%d)", ErrNotFound, maxK)
+}
+
+// RunNCSAC executes the compiled solution for real: both processes run K
+// rounds of iterated immediate snapshots starting from their input vertex
+// keys and decide through the map. inputs are vertices of C; crashAfter as
+// usual. Outputs are vertices of C (-1 for crashed processes).
+func RunNCSAC(sol *NCSACSolution, inputs [2]topology.Vertex, crashAfter []int) ([]topology.Vertex, error) {
+	keys := make([]string, 2)
+	for p := 0; p < 2; p++ {
+		if inputs[p] < 0 || int(inputs[p]) >= sol.C.NumVertices() {
+			return nil, fmt.Errorf("converge: input %d is not a vertex of C", inputs[p])
+		}
+		keys[p] = ncsacInputKey(p, sol.C.Key(inputs[p]))
+		if _, ok := sol.I.VertexByKey(keys[p]); !ok {
+			return nil, fmt.Errorf("converge: input %d is not a vertex of C", inputs[p])
+		}
+	}
+	res, err := protocol.RunFullInfoWithInputs(keys, sol.K, crashAfter)
+	if err != nil {
+		return nil, err
+	}
+	out := []topology.Vertex{-1, -1}
+	for p, key := range res.Keys {
+		if key == "" {
+			continue
+		}
+		v, ok := sol.Phi.From.VertexByKey(key)
+		if !ok {
+			return nil, fmt.Errorf("converge: P%d view %q not a vertex of SDS^%d(I)", p, key, sol.K)
+		}
+		out[p] = sol.Phi.Image[v]
+	}
+	return out, nil
+}
+
+// ValidateNCSAC checks the task conditions on a run: finisher outputs span a
+// simplex of C, and a process that ran entirely solo decided its input.
+func ValidateNCSAC(sol *NCSACSolution, inputs [2]topology.Vertex, outputs []topology.Vertex, soloProc int) error {
+	var w []topology.Vertex
+	for p, v := range outputs {
+		if v < 0 {
+			continue
+		}
+		w = append(w, v)
+		if soloProc == p && v != inputs[p] {
+			return fmt.Errorf("converge: solo P%d decided %d, want own input %d", p, v, inputs[p])
+		}
+	}
+	if len(w) == 0 {
+		return nil
+	}
+	if !sol.C.HasSimplex(dedupe(w)) {
+		return fmt.Errorf("converge: outputs %v do not span a simplex of C", w)
+	}
+	return nil
+}

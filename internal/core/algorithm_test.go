@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxAgreementOnDirectMemory(t *testing.T) {
+	cases := []struct {
+		inputs []float64
+		eps    float64
+	}{
+		{[]float64{0, 1}, 0.25},
+		{[]float64{0, 1, 0.5}, 0.1},
+		{[]float64{3, 7, 5, 1}, 0.5},
+		{[]float64{2, 2}, 0.01},
+	}
+	for _, tc := range cases {
+		for trial := 0; trial < 10; trial++ {
+			out, err := RunApproxAgreement(NewDirectMemory(len(tc.inputs)), tc.inputs, tc.eps, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckApproxOutputs(tc.inputs, out, tc.eps); err != nil {
+				t.Fatalf("inputs %v eps %g: %v", tc.inputs, tc.eps, err)
+			}
+		}
+	}
+}
+
+// TestApproxAgreementOnEmulatedMemory is the end-to-end theorem: a real
+// task, solved by a value-dependent protocol, over the Figure 2 emulation.
+func TestApproxAgreementOnEmulatedMemory(t *testing.T) {
+	inputs := []float64{0, 1, 0.25}
+	const eps = 0.125
+	for trial := 0; trial < 10; trial++ {
+		out, err := RunApproxAgreement(NewEmulatedMemory(len(inputs)), inputs, eps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckApproxOutputs(inputs, out, eps); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestApproxAgreementEmulatedWithCrash(t *testing.T) {
+	inputs := []float64{0, 1}
+	for trial := 0; trial < 10; trial++ {
+		out, err := RunApproxAgreement(NewEmulatedMemory(2), inputs, 0.25, []int{1, -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckApproxOutputs(inputs, out, 0.25); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !math.IsNaN(out[0]) {
+			t.Fatal("crashed process produced an output")
+		}
+		if math.IsNaN(out[1]) {
+			t.Fatal("survivor produced no output")
+		}
+	}
+}
+
+func TestApproxAgreementAlreadyAgreed(t *testing.T) {
+	inputs := []float64{5, 5, 5}
+	out, err := RunApproxAgreement(NewDirectMemory(3), inputs, 0.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range out {
+		if x != 5 {
+			t.Fatalf("P%d output %g, want 5 (zero rounds needed)", i, x)
+		}
+	}
+}
+
+func TestApproxAgreementErrors(t *testing.T) {
+	if _, err := RunApproxAgreement(NewDirectMemory(1), nil, 0.1, nil); err == nil {
+		t.Error("empty inputs should fail")
+	}
+	if _, err := RunApproxAgreement(NewDirectMemory(1), []float64{1}, 0, nil); err == nil {
+		t.Error("eps=0 should fail")
+	}
+}
+
+func TestHistoryEncodingRoundTrip(t *testing.T) {
+	h := map[int]float64{0: 0.5, 3: -1.25, 7: 1e-9}
+	got, err := decodeHistory(encodeHistory(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(h) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(h))
+	}
+	for k, v := range h {
+		if got[k] != v {
+			t.Fatalf("h[%d] = %g, want %g", k, got[k], v)
+		}
+	}
+	if _, err := decodeHistory("garbage"); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+	if h, err := decodeHistory(""); err != nil || len(h) != 0 {
+		t.Error("empty history should decode to empty map")
+	}
+}
+
+func TestCheckApproxOutputsDetectsViolations(t *testing.T) {
+	inputs := []float64{0, 1}
+	if err := CheckApproxOutputs(inputs, []float64{0, 0.9}, 0.5); err == nil {
+		t.Error("disagreement beyond eps not detected")
+	}
+	if err := CheckApproxOutputs(inputs, []float64{-0.5, 0}, 1); err == nil {
+		t.Error("out-of-range output not detected")
+	}
+	if err := CheckApproxOutputs(inputs, []float64{math.NaN(), 0.5}, 0.1); err != nil {
+		t.Errorf("NaN should be skipped: %v", err)
+	}
+}

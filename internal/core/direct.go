@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"waitfree/internal/register"
+)
+
+// ShotMemory is the memory interface consumed by the k-shot full-information
+// protocol of Figure 1: alternating writes of a process's cell and atomic
+// snapshot reads of all cells.
+//
+// Write publishes the process's seq-th value. SnapshotRead returns, for every
+// process p, the latest value and write sequence number visible (seq 0 and
+// empty value when p has not written).
+type ShotMemory interface {
+	Write(proc, seq int, val string) error
+	SnapshotRead(proc, seq int) (vals []string, seqs []int, err error)
+}
+
+// writeRecord is one cell of the direct atomic snapshot memory.
+type writeRecord struct {
+	seq int
+	val string
+}
+
+// DirectMemory implements ShotMemory natively on the wait-free atomic
+// snapshot object — the reference model the emulation must match.
+type DirectMemory struct {
+	snap *register.Snapshot[writeRecord]
+}
+
+var _ ShotMemory = (*DirectMemory)(nil)
+
+// NewDirectMemory returns an atomic snapshot ShotMemory for n processes.
+func NewDirectMemory(n int) *DirectMemory {
+	return &DirectMemory{snap: register.NewSnapshot[writeRecord](n)}
+}
+
+// Write publishes (seq, val) in the caller's cell.
+func (m *DirectMemory) Write(proc, seq int, val string) error {
+	if seq < 1 {
+		return fmt.Errorf("core: write seq %d < 1", seq)
+	}
+	m.snap.Update(proc, writeRecord{seq: seq, val: val})
+	return nil
+}
+
+// SnapshotRead returns an atomic view of all cells.
+func (m *DirectMemory) SnapshotRead(proc, seq int) ([]string, []int, error) {
+	view := m.snap.Scan()
+	vals := make([]string, len(view))
+	seqs := make([]int, len(view))
+	for p, e := range view {
+		if e.Present {
+			vals[p] = e.Val.val
+			seqs[p] = e.Val.seq
+		}
+	}
+	return vals, seqs, nil
+}

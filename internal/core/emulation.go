@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"waitfree/internal/iis"
+	"waitfree/internal/immediate"
+)
+
+// Emulator runs one process of Figure 2: it emulates that process's writes
+// and snapshot reads of the SWMR atomic snapshot memory on top of the
+// iterated immediate snapshot memory.
+//
+// The emulator walks through the one-shot memories M0, M1, … in order. To
+// emulate an operation it submits its accumulated tuple-set union plus its
+// own new tuple, and repeats on successive memories until its tuple appears
+// in the intersection ∩S of the returned view (Figure 2's while loop). For a
+// read, the resulting intersection determines, per cell, the written value
+// with the highest sequence number.
+type Emulator struct {
+	mem  *iis.Memory[TupleSet]
+	proc int
+	next int                      // next memory index (the paper's j)
+	last immediate.View[TupleSet] // view returned by the last WriteRead
+}
+
+// NewEmulator returns the Figure 2 emulator for process proc over mem.
+func NewEmulator(mem *iis.Memory[TupleSet], proc int) *Emulator {
+	return &Emulator{mem: mem, proc: proc}
+}
+
+// MemoriesUsed returns how many one-shot memories this emulator has consumed
+// so far — the cost measure of experiment E2.
+func (e *Emulator) MemoriesUsed() int { return e.next }
+
+// advance performs the common write/read phase: submit the union of the last
+// view plus own, then loop on successive memories until own ∈ ∩S. It returns
+// the final intersection.
+func (e *Emulator) advance(own Tuple) (TupleSet, error) {
+	in := UnionOfView(e.last)
+	in.Add(own)
+	for {
+		view, err := e.mem.WriteRead(e.proc, e.next, in)
+		if err != nil {
+			return nil, fmt.Errorf("core: emulator P%d: %w", e.proc, err)
+		}
+		e.next++
+		e.last = view
+		inter := IntersectionOfView(view)
+		if inter.Has(own) {
+			return inter, nil
+		}
+		in = UnionOfView(view)
+	}
+}
+
+// Write emulates process proc's seq-th write of val (Procedure Write of
+// Figure 2).
+func (e *Emulator) Write(seq int, val string) error {
+	if seq < 1 {
+		return fmt.Errorf("core: write seq %d < 1", seq)
+	}
+	_, err := e.advance(Tuple{ID: e.proc, Seq: seq, Val: val})
+	return err
+}
+
+// SnapshotRead emulates process proc's seq-th snapshot read (Procedure
+// SnapshotRead of Figure 2): it writes the placeholder tuple (proc, seq, ⊥)
+// and, once the placeholder is in the intersection, extracts for every cell
+// the value with the highest write sequence number in ∩S.
+func (e *Emulator) SnapshotRead(seq int) (vals []string, seqs []int, err error) {
+	inter, err := e.advance(Tuple{ID: e.proc, Seq: seq, IsRead: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	n := e.mem.Processes()
+	vals = make([]string, n)
+	seqs = make([]int, n)
+	for t := range inter {
+		if t.IsRead {
+			continue
+		}
+		if t.Seq > seqs[t.ID] {
+			seqs[t.ID] = t.Seq
+			vals[t.ID] = t.Val
+		}
+	}
+	return vals, seqs, nil
+}
+
+// EmulatedMemory adapts a family of per-process Emulators over one iterated
+// immediate snapshot memory to the ShotMemory interface, so the same k-shot
+// protocol runner drives both the direct and the emulated model.
+type EmulatedMemory struct {
+	mem  *iis.Memory[TupleSet]
+	emus []*Emulator
+}
+
+var _ ShotMemory = (*EmulatedMemory)(nil)
+
+// NewEmulatedMemory returns an emulated atomic snapshot memory for n
+// processes over a fresh iterated immediate snapshot memory.
+func NewEmulatedMemory(n int) *EmulatedMemory {
+	mem := iis.NewMemory[TupleSet](n)
+	emus := make([]*Emulator, n)
+	for i := range emus {
+		emus[i] = NewEmulator(mem, i)
+	}
+	return &EmulatedMemory{mem: mem, emus: emus}
+}
+
+// Write emulates proc's seq-th write.
+func (m *EmulatedMemory) Write(proc, seq int, val string) error {
+	return m.emus[proc].Write(seq, val)
+}
+
+// SnapshotRead emulates proc's seq-th snapshot read.
+func (m *EmulatedMemory) SnapshotRead(proc, seq int) ([]string, []int, error) {
+	vals, seqs, err := m.emus[proc].SnapshotRead(seq)
+	return vals, seqs, err
+}
+
+// MemoriesUsed reports, per process, how many one-shot memories its emulator
+// consumed.
+func (m *EmulatedMemory) MemoriesUsed() []int {
+	out := make([]int, len(m.emus))
+	for i, e := range m.emus {
+		out[i] = e.MemoriesUsed()
+	}
+	return out
+}

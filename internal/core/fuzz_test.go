@@ -1,0 +1,51 @@
+package core
+
+import "testing"
+
+// FuzzDecodeHistory hardens the approximate-agreement history codec against
+// arbitrary memory contents (a foreign or corrupted value must produce an
+// error, never a panic or a bogus parse of a valid encoding).
+func FuzzDecodeHistory(f *testing.F) {
+	f.Add("")
+	f.Add("0=0.5")
+	f.Add("0=0.5;3=-1.25")
+	f.Add("garbage")
+	f.Add("1=")
+	f.Add("=1")
+	f.Add(";;;")
+	f.Fuzz(func(t *testing.T, s string) {
+		h, err := decodeHistory(s)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode to the same map.
+		h2, err := decodeHistory(encodeHistory(h))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(h2) != len(h) {
+			t.Fatalf("round trip changed size: %d vs %d", len(h), len(h2))
+		}
+		for k, v := range h {
+			if got := h2[k]; got != v && !(got != got && v != v) { // NaN-safe
+				t.Fatalf("round trip changed h[%d]: %g vs %g", k, v, got)
+			}
+		}
+	})
+}
+
+// FuzzEncodeFullInfo checks the full-information encoding is total and
+// deterministic for arbitrary component values.
+func FuzzEncodeFullInfo(f *testing.F) {
+	f.Add("x", "y", 1, 0)
+	f.Add("", "weird\"quote;chars", 3, 9)
+	f.Fuzz(func(t *testing.T, v0, v1 string, s0, s1 int) {
+		vals := []string{v0, v1}
+		seqs := []int{s0 & 0xff, s1 & 0xff}
+		a := EncodeFullInfo(vals, seqs)
+		b := EncodeFullInfo(vals, seqs)
+		if a != b {
+			t.Fatal("encoding not deterministic")
+		}
+	})
+}

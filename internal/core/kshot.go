@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// RunConfig configures a run of the k-shot full-information protocol
+// (Figure 1).
+type RunConfig struct {
+	N      int      // number of processes
+	K      int      // shots per process
+	Inputs []string // initial values; defaults to "in<i>" when nil
+
+	// CrashAfterOps[i] makes process i fail-stop after that many completed
+	// operations (writes and reads each count as one). Negative or missing
+	// means the process runs to completion. Crashed processes model the
+	// wait-free adversary: survivors must still finish.
+	CrashAfterOps []int
+
+	// JitterSeed, when non-zero, seeds a deterministic scheduling
+	// perturbation: before each operation a process yields the scheduler a
+	// pseudo-random number of times, diversifying the interleavings explored
+	// across trials without giving up reproducibility.
+	JitterSeed int64
+}
+
+// RunKShot drives n processes, as goroutines, through the k-shot atomic
+// snapshot full-information protocol of Figure 1 against the given memory
+// (native or emulated — Proposition 4.1 says the resulting traces satisfy
+// the same specification). The returned trace contains every completed
+// operation with real-time ticks.
+func RunKShot(mem ShotMemory, cfg RunConfig) (*Trace, error) {
+	if cfg.N <= 0 || cfg.K < 0 {
+		return nil, fmt.Errorf("core: bad config N=%d K=%d", cfg.N, cfg.K)
+	}
+	inputs := cfg.Inputs
+	if inputs == nil {
+		inputs = make([]string, cfg.N)
+		for i := range inputs {
+			inputs[i] = fmt.Sprintf("in%d", i)
+		}
+	}
+	if len(inputs) != cfg.N {
+		return nil, fmt.Errorf("core: %d inputs for %d processes", len(inputs), cfg.N)
+	}
+
+	var (
+		ticker Ticker
+		mu     sync.Mutex
+		trace  = &Trace{N: cfg.N, K: cfg.K}
+		errs   = make([]error, cfg.N)
+		wg     sync.WaitGroup
+	)
+	record := func(op Op) {
+		mu.Lock()
+		trace.Ops = append(trace.Ops, op)
+		mu.Unlock()
+	}
+	budget := func(i, done int) bool {
+		if cfg.CrashAfterOps == nil || i >= len(cfg.CrashAfterOps) || cfg.CrashAfterOps[i] < 0 {
+			return true
+		}
+		return done < cfg.CrashAfterOps[i]
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var jitter *rand.Rand
+			if cfg.JitterSeed != 0 {
+				jitter = rand.New(rand.NewSource(cfg.JitterSeed + int64(i)*7919))
+			}
+			yield := func() {
+				if jitter == nil {
+					return
+				}
+				for k := jitter.Intn(4); k > 0; k-- {
+					runtime.Gosched()
+				}
+			}
+			val := inputs[i]
+			done := 0
+			for sq := 1; sq <= cfg.K; sq++ {
+				if !budget(i, done) {
+					return // fail-stop
+				}
+				yield()
+				start := ticker.Tick()
+				if err := mem.Write(i, sq, val); err != nil {
+					errs[i] = err
+					return
+				}
+				record(Op{Proc: i, Seq: sq, Kind: OpWrite, Start: start, End: ticker.Tick(), Vals: []string{val}})
+				done++
+
+				if !budget(i, done) {
+					return
+				}
+				yield()
+				start = ticker.Tick()
+				vals, seqs, err := mem.SnapshotRead(i, sq)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				record(Op{Proc: i, Seq: sq, Kind: OpRead, Start: start, End: ticker.Tick(), Vals: vals, Seqs: seqs})
+				done++
+
+				val = EncodeFullInfo(vals, seqs)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return trace, err
+		}
+	}
+	return trace, nil
+}
+
+// EncodeFullInfo canonically encodes a snapshot view as the value the
+// full-information protocol writes back: a deterministic, reversible string
+// listing every present component's (process, seq, value).
+func EncodeFullInfo(vals []string, seqs []int) string {
+	parts := make([]string, 0, len(vals))
+	for p := range vals {
+		if seqs[p] == 0 {
+			continue
+		}
+		parts = append(parts, strconv.Itoa(p)+":"+strconv.Itoa(seqs[p])+":"+strconv.Quote(vals[p]))
+	}
+	sort.Strings(parts)
+	return "[" + strings.Join(parts, ",") + "]"
+}

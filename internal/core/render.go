@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render draws the trace as a per-process timeline in global tick order,
+// one line per operation, for humans debugging executions:
+//
+//	P0 |--W1--|                         w(in0)
+//	P1        |--W1--|                  w(in1)
+//	P0                |--R1--|          r[1,1]
+//
+// Operations are sorted by start tick; each line indents proportionally to
+// its start and shows the op kind, shot number, and a compact payload
+// (written value for writes, the seq vector for reads).
+func (tr *Trace) Render() string {
+	ops := append([]Op(nil), tr.Ops...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+	if len(ops) == 0 {
+		return "(empty trace)\n"
+	}
+	maxTick := ops[len(ops)-1].End
+	for _, op := range ops {
+		if op.End > maxTick {
+			maxTick = op.End
+		}
+	}
+	// Scale to at most 60 columns.
+	scale := 1.0
+	if maxTick > 60 {
+		scale = 60.0 / float64(maxTick)
+	}
+	var b strings.Builder
+	for _, op := range ops {
+		start := int(float64(op.Start) * scale)
+		width := int(float64(op.End-op.Start)*scale) + 1
+		kind := "W"
+		if op.Kind == OpRead {
+			kind = "R"
+		}
+		bar := fmt.Sprintf("|%s%s%d|", kind, strings.Repeat("-", max(0, width-1)), op.Seq)
+		payload := ""
+		switch op.Kind {
+		case OpWrite:
+			payload = "w(" + truncate(op.Vals[0], 24) + ")"
+		case OpRead:
+			payload = fmt.Sprintf("r%v", op.Seqs)
+		}
+		fmt.Fprintf(&b, "P%-2d %s%s  %s\n", op.Proc, strings.Repeat(" ", start), bar, payload)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

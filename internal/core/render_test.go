@@ -1,0 +1,56 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderEmptyTrace(t *testing.T) {
+	tr := &Trace{N: 1, K: 0}
+	if got := tr.Render(); !strings.Contains(got, "empty") {
+		t.Fatalf("Render() = %q", got)
+	}
+}
+
+func TestRenderContainsAllOps(t *testing.T) {
+	tr, err := RunKShot(NewDirectMemory(2), RunConfig{N: 2, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(tr.Ops) {
+		t.Fatalf("%d lines for %d ops", len(lines), len(tr.Ops))
+	}
+	for _, proc := range []string{"P0", "P1"} {
+		if !strings.Contains(out, proc) {
+			t.Errorf("render misses %s", proc)
+		}
+	}
+	if !strings.Contains(out, "w(") || !strings.Contains(out, "r[") {
+		t.Errorf("render misses payloads:\n%s", out)
+	}
+}
+
+func TestRenderOrderedByStart(t *testing.T) {
+	tr := &Trace{N: 1, K: 1, Ops: []Op{
+		{Proc: 0, Seq: 1, Kind: OpRead, Start: 10, End: 12, Vals: []string{"x"}, Seqs: []int{1}},
+		{Proc: 0, Seq: 1, Kind: OpWrite, Start: 1, End: 2, Vals: []string{"x"}},
+	}}
+	out := tr.Render()
+	wIdx := strings.Index(out, "w(")
+	rIdx := strings.Index(out, "r[")
+	if wIdx < 0 || rIdx < 0 || wIdx > rIdx {
+		t.Fatalf("write should render before read:\n%s", out)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("short", 24); got != "short" {
+		t.Fatalf("truncate = %q", got)
+	}
+	long := strings.Repeat("x", 50)
+	if got := truncate(long, 10); len(got) <= 10+3 && !strings.HasSuffix(got, "…") {
+		t.Fatalf("truncate = %q", got)
+	}
+}

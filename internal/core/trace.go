@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// OpKind distinguishes the two operations of the k-shot protocol.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpWrite OpKind = iota + 1
+	OpRead
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op records one completed operation of the k-shot protocol, with global
+// real-time ticks for order checking.
+type Op struct {
+	Proc  int
+	Seq   int // shot number, 1-based
+	Kind  OpKind
+	Start uint64 // tick at invocation
+	End   uint64 // tick at response
+
+	// For reads: the returned snapshot, as per-process (value, write-seq)
+	// pairs. Seqs[p] == 0 means component p was unwritten.
+	Vals []string
+	Seqs []int
+}
+
+// Ticker issues globally ordered ticks used to timestamp operations.
+type Ticker struct {
+	c atomic.Uint64
+}
+
+// Tick returns the next tick.
+func (t *Ticker) Tick() uint64 { return t.c.Add(1) }
+
+// Trace is the log of a complete run of the k-shot protocol by n processes,
+// used to validate that an execution is legal for the atomic snapshot model
+// (the content of Proposition 4.1).
+type Trace struct {
+	N, K int
+	Ops  []Op
+}
+
+// Validate checks that the trace is a legal execution of the k-shot atomic
+// snapshot full-information protocol of Figure 1:
+//
+//  1. read-own-write: P_i's q-th read shows its own component at seq q;
+//  2. comparability: all read views, across processes, are totally ordered
+//     under componentwise ≤ of their seq vectors (snapshot atomicity);
+//  3. per-process monotonicity: successive reads by one process never go
+//     backwards;
+//  4. real-time freshness (Corollary 4.1): a read that starts after a write
+//     (p, m) completed must report component p at seq ≥ m;
+//  5. value consistency: the value reported for (p, q) is the value written
+//     by p in its q-th write.
+func (tr *Trace) Validate() error {
+	written := make(map[[2]int]string) // (proc, seq) → value
+	for _, op := range tr.Ops {
+		if op.Kind != OpWrite {
+			continue
+		}
+		written[[2]int{op.Proc, op.Seq}] = op.Vals[0]
+	}
+
+	var reads []Op
+	for _, op := range tr.Ops {
+		if op.Kind == OpRead {
+			reads = append(reads, op)
+		}
+	}
+
+	for _, r := range reads {
+		if len(r.Seqs) != tr.N || len(r.Vals) != tr.N {
+			return fmt.Errorf("core: read %d/%d has view of size %d, want %d", r.Proc, r.Seq, len(r.Seqs), tr.N)
+		}
+		// (1) read-own-write.
+		if r.Seqs[r.Proc] != r.Seq {
+			return fmt.Errorf("core: P%d read %d shows own seq %d, want %d", r.Proc, r.Seq, r.Seqs[r.Proc], r.Seq)
+		}
+		// (5) value consistency.
+		for p := 0; p < tr.N; p++ {
+			if r.Seqs[p] == 0 {
+				if r.Vals[p] != "" {
+					return fmt.Errorf("core: P%d read %d has value for unwritten component %d", r.Proc, r.Seq, p)
+				}
+				continue
+			}
+			want, ok := written[[2]int{p, r.Seqs[p]}]
+			if !ok {
+				return fmt.Errorf("core: P%d read %d reports unknown write (%d,%d)", r.Proc, r.Seq, p, r.Seqs[p])
+			}
+			if r.Vals[p] != want {
+				return fmt.Errorf("core: P%d read %d reports (%d,%d)=%q, writer wrote %q", r.Proc, r.Seq, p, r.Seqs[p], r.Vals[p], want)
+			}
+		}
+	}
+
+	// (2) comparability across all reads.
+	for i := 0; i < len(reads); i++ {
+		for j := i + 1; j < len(reads); j++ {
+			if !seqsComparable(reads[i].Seqs, reads[j].Seqs) {
+				return fmt.Errorf("core: incomparable read views P%d/%d %v and P%d/%d %v",
+					reads[i].Proc, reads[i].Seq, reads[i].Seqs,
+					reads[j].Proc, reads[j].Seq, reads[j].Seqs)
+			}
+		}
+	}
+
+	// (3) per-process monotonicity. Reads appear in per-process program
+	// order within Ops, so grouping preserves that order.
+	perProc := make(map[int][]Op)
+	for _, r := range reads {
+		perProc[r.Proc] = append(perProc[r.Proc], r)
+	}
+	for p, rs := range perProc {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Seq != rs[i-1].Seq+1 {
+				return fmt.Errorf("core: P%d reads out of order: seq %d after %d", p, rs[i].Seq, rs[i-1].Seq)
+			}
+			if !seqLE(rs[i-1].Seqs, rs[i].Seqs) {
+				return fmt.Errorf("core: P%d view went backwards between reads %d and %d", p, rs[i-1].Seq, rs[i].Seq)
+			}
+		}
+	}
+
+	// (4) real-time freshness.
+	for _, w := range tr.Ops {
+		if w.Kind != OpWrite {
+			continue
+		}
+		for _, r := range reads {
+			if w.End < r.Start && r.Seqs[w.Proc] < w.Seq {
+				return fmt.Errorf("core: stale read: P%d read %d started after P%d write %d completed but shows seq %d",
+					r.Proc, r.Seq, w.Proc, w.Seq, r.Seqs[w.Proc])
+			}
+		}
+	}
+	return nil
+}
+
+func seqLE(a, b []int) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func seqsComparable(a, b []int) bool {
+	return seqLE(a, b) || seqLE(b, a)
+}

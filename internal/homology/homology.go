@@ -1,0 +1,192 @@
+// Package homology computes simplicial homology ranks over GF(2).
+//
+// It provides the computational counterpart of the paper's Lemma 2.2: a
+// subdivided simplex "has no hole of any dimension". For a finite complex we
+// verify this as Betti numbers (over Z/2) equal to (1, 0, 0, …): connected
+// with no higher-dimensional cycles that fail to bound. Z/2 coefficients
+// suffice for hole detection in the complexes at hand and keep the linear
+// algebra to bit operations.
+package homology
+
+import (
+	"waitfree/internal/topology"
+)
+
+// BettiNumbers returns the GF(2) Betti numbers b_0 … b_dim of the sealed
+// complex.
+func BettiNumbers(c *topology.Complex) []int {
+	all := c.AllSimplices()
+	dim := len(all) - 1
+	if dim < 0 {
+		return nil
+	}
+	// Index simplices of each dimension.
+	idx := make([]map[string]int, dim+1)
+	for d := 0; d <= dim; d++ {
+		idx[d] = make(map[string]int, len(all[d]))
+		for i, s := range all[d] {
+			idx[d][key(s)] = i
+		}
+	}
+	// ranks[d] = rank of ∂_d : C_d → C_{d−1}; ∂_0 = 0.
+	ranks := make([]int, dim+2)
+	for d := 1; d <= dim; d++ {
+		m := newBitMatrix(len(all[d-1]), len(all[d]))
+		face := make([]topology.Vertex, 0, d)
+		for col, s := range all[d] {
+			for omit := 0; omit <= d; omit++ {
+				face = face[:0]
+				for i, v := range s {
+					if i != omit {
+						face = append(face, v)
+					}
+				}
+				m.set(idx[d-1][key(face)], col)
+			}
+		}
+		ranks[d] = m.rank()
+	}
+	betti := make([]int, dim+1)
+	for d := 0; d <= dim; d++ {
+		// b_d = dim ker ∂_d − rank ∂_{d+1} = (f_d − rank ∂_d) − rank ∂_{d+1}.
+		betti[d] = len(all[d]) - ranks[d] - ranks[d+1]
+	}
+	return betti
+}
+
+// IsAcyclic reports whether the complex has the homology of a point over
+// GF(2): b_0 = 1 and b_d = 0 for d ≥ 1. This is the "no holes of any
+// dimension" check used for subdivided simplices (Lemma 2.2).
+func IsAcyclic(c *topology.Complex) bool {
+	betti := BettiNumbers(c)
+	if len(betti) == 0 || betti[0] != 1 {
+		return false
+	}
+	for _, b := range betti[1:] {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNoHolesBelow reports whether b_0 = 1 and b_d = 0 for 1 ≤ d < k — "no
+// hole of dimension less than k" in the paper's phrasing, as needed for the
+// link condition of Lemma 2.2.
+func HasNoHolesBelow(c *topology.Complex, k int) bool {
+	betti := BettiNumbers(c)
+	if len(betti) == 0 || betti[0] != 1 {
+		return false
+	}
+	for d := 1; d < k && d < len(betti); d++ {
+		if betti[d] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSphere reports whether the complex has the GF(2) homology of a d-sphere:
+// b_0 = 1, b_d = 1, all other Betti numbers 0. (Homology alone does not
+// certify a sphere in general, but for the boundary complexes checked in
+// tests it is the relevant invariant.)
+func IsSphere(c *topology.Complex, d int) bool {
+	betti := BettiNumbers(c)
+	if len(betti) < d+1 {
+		return false
+	}
+	for i, b := range betti {
+		want := 0
+		switch {
+		case d == 0 && i == 0:
+			want = 2 // S⁰ is two points
+		case i == 0 || i == d:
+			want = 1
+		}
+		if b != want {
+			return false
+		}
+	}
+	return true
+}
+
+func key(s []topology.Vertex) string {
+	buf := make([]byte, 0, len(s)*4)
+	for i, v := range s {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendInt(buf, int(v))
+	}
+	return string(buf)
+}
+
+func appendInt(b []byte, n int) []byte {
+	if n == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// bitMatrix is a dense GF(2) matrix with 64-bit packed rows.
+type bitMatrix struct {
+	rows, cols int
+	words      int
+	data       [][]uint64
+}
+
+func newBitMatrix(rows, cols int) *bitMatrix {
+	words := (cols + 63) / 64
+	data := make([][]uint64, rows)
+	backing := make([]uint64, rows*words)
+	for i := range data {
+		data[i] = backing[i*words : (i+1)*words]
+	}
+	return &bitMatrix{rows: rows, cols: cols, words: words, data: data}
+}
+
+func (m *bitMatrix) set(r, c int) {
+	m.data[r][c/64] |= 1 << (uint(c) % 64)
+}
+
+func (m *bitMatrix) get(r, c int) bool {
+	return m.data[r][c/64]&(1<<(uint(c)%64)) != 0
+}
+
+// rank performs in-place Gaussian elimination over GF(2).
+func (m *bitMatrix) rank() int {
+	rank := 0
+	for col := 0; col < m.cols && rank < m.rows; col++ {
+		pivot := -1
+		for r := rank; r < m.rows; r++ {
+			if m.get(r, col) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m.data[rank], m.data[pivot] = m.data[pivot], m.data[rank]
+		for r := 0; r < m.rows; r++ {
+			if r != rank && m.get(r, col) {
+				xorRow(m.data[r], m.data[rank])
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+func xorRow(dst, src []uint64) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}

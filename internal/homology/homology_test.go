@@ -1,0 +1,209 @@
+package homology
+
+import (
+	"testing"
+
+	"waitfree/internal/topology"
+)
+
+// boundaryOfSimplex builds the boundary complex of sⁿ (an (n−1)-sphere).
+func boundaryOfSimplex(n int) *topology.Complex {
+	c := topology.NewComplex()
+	vs := make([]topology.Vertex, n+1)
+	for i := range vs {
+		vs[i] = c.MustAddVertex(string(rune('a'+i)), i)
+	}
+	for omit := 0; omit <= n; omit++ {
+		var f []topology.Vertex
+		for i, v := range vs {
+			if i != omit {
+				f = append(f, v)
+			}
+		}
+		c.MustAddSimplex(f...)
+	}
+	return c.Seal()
+}
+
+func TestSolidSimplexIsAcyclic(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		s := topology.Simplex(n)
+		if !IsAcyclic(s) {
+			t.Errorf("s^%d should be acyclic, Betti = %v", n, BettiNumbers(s))
+		}
+	}
+}
+
+func TestSphereBetti(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		sphere := boundaryOfSimplex(n)
+		if !IsSphere(sphere, n-1) {
+			t.Errorf("∂s^%d should be an S^%d, Betti = %v", n, n-1, BettiNumbers(sphere))
+		}
+		if IsAcyclic(sphere) && n >= 1 {
+			t.Errorf("∂s^%d should not be acyclic", n)
+		}
+	}
+}
+
+func TestTwoComponents(t *testing.T) {
+	c := topology.NewComplex()
+	a := c.MustAddVertex("a", 0)
+	b := c.MustAddVertex("b", 1)
+	d := c.MustAddVertex("d", 0)
+	e := c.MustAddVertex("e", 1)
+	c.MustAddSimplex(a, b)
+	c.MustAddSimplex(d, e)
+	c.Seal()
+	betti := BettiNumbers(c)
+	if betti[0] != 2 {
+		t.Errorf("two components: b0 = %d, want 2", betti[0])
+	}
+	if IsAcyclic(c) {
+		t.Error("disconnected complex reported acyclic")
+	}
+}
+
+func TestCircleHasOneHole(t *testing.T) {
+	// Triangle boundary: b = (1, 1).
+	c := boundaryOfSimplex(2)
+	betti := BettiNumbers(c)
+	if len(betti) != 2 || betti[0] != 1 || betti[1] != 1 {
+		t.Errorf("circle Betti = %v, want [1 1]", betti)
+	}
+	if HasNoHolesBelow(c, 2) {
+		t.Error("circle has a 1-hole; HasNoHolesBelow(2) must be false")
+	}
+	if !HasNoHolesBelow(c, 1) {
+		t.Error("circle is connected; HasNoHolesBelow(1) must be true")
+	}
+}
+
+// TestLemma22SDSIsAcyclic is experiment E9: subdivided simplices have no
+// holes of any dimension (Lemma 2.2, computational instances).
+func TestLemma22SDSIsAcyclic(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *topology.Complex
+	}{
+		{"SDS(s1)", topology.SDS(topology.Simplex(1))},
+		{"SDS(s2)", topology.SDS(topology.Simplex(2))},
+		{"SDS2(s2)", topology.SDSPow(topology.Simplex(2), 2)},
+		{"SDS(s3)", topology.SDS(topology.Simplex(3))},
+		{"Bsd(s2)", topology.Bsd(topology.Simplex(2))},
+		{"Bsd2(s2)", topology.BsdPow(topology.Simplex(2), 2)},
+		{"Bsd(s3)", topology.Bsd(topology.Simplex(3))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if !IsAcyclic(tc.c) {
+				t.Errorf("%s should be acyclic, Betti = %v", tc.name, BettiNumbers(tc.c))
+			}
+		})
+	}
+}
+
+// TestLemma22LinkCondition checks the second half of Lemma 2.2 on an
+// instance: the link of an interior vertex of a subdivided 2-simplex is a
+// circle (1-sphere), and the link of a corner vertex is an arc (acyclic).
+func TestLemma22LinkCondition(t *testing.T) {
+	s := topology.Simplex(2)
+	sds := topology.SDS(s)
+	for v := 0; v < sds.NumVertices(); v++ {
+		link := sds.Link([]topology.Vertex{topology.Vertex(v)})
+		carrier := sds.Carrier(topology.Vertex(v))
+		switch len(carrier) {
+		case 3: // interior vertex: link is a 1-sphere
+			if !IsSphere(link, 1) {
+				t.Errorf("interior vertex %d: link Betti = %v, want circle", v, BettiNumbers(link))
+			}
+		default: // boundary vertex: link is an arc or point, acyclic
+			if !IsAcyclic(link) {
+				t.Errorf("boundary vertex %d: link Betti = %v, want acyclic", v, BettiNumbers(link))
+			}
+		}
+	}
+}
+
+// TestMobiusBand is a negative control beyond spheres: the Möbius band
+// deformation-retracts to a circle, so over GF(2) it has b = (1, 1) — not
+// acyclic, unlike every subdivided simplex.
+func TestMobiusBand(t *testing.T) {
+	// Standard 5-triangle triangulation of the Möbius band on vertices
+	// 0..4: triangles (i, i+1, i+3 mod 5).
+	c := topology.NewComplex()
+	vs := make([]topology.Vertex, 5)
+	for i := range vs {
+		vs[i] = c.MustAddVertex(string(rune('a'+i)), i)
+	}
+	for i := 0; i < 5; i++ {
+		c.MustAddSimplex(vs[i], vs[(i+1)%5], vs[(i+3)%5])
+	}
+	c.Seal()
+	betti := BettiNumbers(c)
+	if len(betti) != 3 || betti[0] != 1 || betti[1] != 1 || betti[2] != 0 {
+		t.Fatalf("Möbius band Betti = %v, want [1 1 0]", betti)
+	}
+	if IsAcyclic(c) {
+		t.Fatal("Möbius band reported acyclic")
+	}
+}
+
+// TestProjectivePlane: the 6-vertex triangulation of RP² has GF(2) homology
+// b = (1, 1, 1) — the classic case where Z/2 coefficients see torsion.
+func TestProjectivePlane(t *testing.T) {
+	c := topology.NewComplex()
+	vs := make([]topology.Vertex, 6)
+	for i := range vs {
+		vs[i] = c.MustAddVertex(string(rune('a'+i)), i)
+	}
+	// RP²₆ (the icosahedron quotient): 10 triangles.
+	faces := [][3]int{
+		{0, 1, 2}, {0, 2, 3}, {0, 3, 4}, {0, 4, 5}, {0, 5, 1},
+		{1, 2, 4}, {2, 3, 5}, {3, 4, 1}, {4, 5, 2}, {5, 1, 3},
+	}
+	for _, f := range faces {
+		c.MustAddSimplex(vs[f[0]], vs[f[1]], vs[f[2]])
+	}
+	c.Seal()
+	betti := BettiNumbers(c)
+	if len(betti) != 3 || betti[0] != 1 || betti[1] != 1 || betti[2] != 1 {
+		t.Fatalf("RP² Betti over GF(2) = %v, want [1 1 1]", betti)
+	}
+}
+
+func TestBettiOfEmptyAndPoint(t *testing.T) {
+	pt := topology.Simplex(0)
+	betti := BettiNumbers(pt)
+	if len(betti) != 1 || betti[0] != 1 {
+		t.Errorf("point Betti = %v, want [1]", betti)
+	}
+}
+
+func TestBitMatrixRank(t *testing.T) {
+	m := newBitMatrix(3, 3)
+	// Identity.
+	m.set(0, 0)
+	m.set(1, 1)
+	m.set(2, 2)
+	if r := m.rank(); r != 3 {
+		t.Errorf("identity rank %d, want 3", r)
+	}
+	// Dependent rows: r0 = r1.
+	m2 := newBitMatrix(3, 4)
+	m2.set(0, 0)
+	m2.set(0, 1)
+	m2.set(1, 0)
+	m2.set(1, 1)
+	m2.set(2, 3)
+	if r := m2.rank(); r != 2 {
+		t.Errorf("dependent rank %d, want 2", r)
+	}
+	// Wide matrix exercising multiple words.
+	m3 := newBitMatrix(2, 130)
+	m3.set(0, 129)
+	m3.set(1, 64)
+	if r := m3.rank(); r != 2 {
+		t.Errorf("wide rank %d, want 2", r)
+	}
+}

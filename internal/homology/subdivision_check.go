@@ -1,0 +1,222 @@
+package homology
+
+import (
+	"fmt"
+
+	"waitfree/internal/topology"
+)
+
+// VerifySubdividedSimplex checks the structural certificate that a complex
+// is a chromatic subdivided simplex of its base (the content of Lemma 3.2's
+// "the one-shot immediate snapshot complex ... is a chromatic subdivided
+// simplex"). The base must be a single n-simplex. The certificate:
+//
+//  1. the complex is pure of dimension n and chromatic;
+//  2. every vertex's carrier is a non-empty face of the base, and the
+//     carrier of every simplex is a face of the base;
+//  3. corner property: for every base vertex there is exactly one complex
+//     vertex carried by it, of the matching color;
+//  4. pseudomanifold with boundary: every (n−1)-simplex lies in exactly two
+//     facets if its carrier is the whole base (interior) and exactly one if
+//     its carrier is proper (boundary);
+//  5. no holes (GF(2) acyclic — Lemma 2.2's necessary condition);
+//  6. for every proper face F of the base, the subcomplex carried by F is
+//     pure of dimension |F|−1 and acyclic (faces subdivide faces).
+//
+// The certificate is sound for the complexes arising here (it rejects
+// pinches, holes, overlaps and mis-glued boundaries); it is how we check
+// that an independently produced complex is a subdivision without comparing
+// it to our own SDS construction.
+func VerifySubdividedSimplex(c *topology.Complex) error {
+	base := c.Base()
+	if base == nil {
+		return fmt.Errorf("homology: complex is not a subdivision (no base)")
+	}
+	if len(base.Facets()) != 1 {
+		return fmt.Errorf("homology: base must be a single simplex, has %d facets", len(base.Facets()))
+	}
+	baseFacet := base.Facets()[0]
+	n := len(baseFacet) - 1
+
+	// (1) pure and chromatic.
+	if !c.IsPure() || c.Dimension() != n {
+		return fmt.Errorf("homology: not pure of dimension %d", n)
+	}
+	if !c.IsChromatic() {
+		return fmt.Errorf("homology: not chromatic")
+	}
+
+	// (2) carriers are faces of the base.
+	for v := 0; v < c.NumVertices(); v++ {
+		car := c.Carrier(topology.Vertex(v))
+		if len(car) == 0 {
+			return fmt.Errorf("homology: vertex %d has empty carrier", v)
+		}
+		if !base.HasSimplex(car) {
+			return fmt.Errorf("homology: vertex %d carrier %v is not a base face", v, car)
+		}
+	}
+
+	// (3) corners.
+	for _, bv := range baseFacet {
+		count := 0
+		var corner topology.Vertex
+		for v := 0; v < c.NumVertices(); v++ {
+			car := c.Carrier(topology.Vertex(v))
+			if len(car) == 1 && car[0] == bv {
+				count++
+				corner = topology.Vertex(v)
+			}
+		}
+		if count != 1 {
+			return fmt.Errorf("homology: base vertex %d has %d corner vertices, want 1", bv, count)
+		}
+		if c.Color(corner) != base.Color(bv) {
+			return fmt.Errorf("homology: corner of base vertex %d has color %d, want %d",
+				bv, c.Color(corner), base.Color(bv))
+		}
+	}
+
+	// (4) pseudomanifold with boundary.
+	if n >= 1 {
+		all := c.AllSimplices()
+		cofacets := make(map[string]int)
+		for _, f := range c.Facets() {
+			forEachCodimOneFace(f, func(face []topology.Vertex) {
+				cofacets[simplexKeyOf(face)]++
+			})
+		}
+		for _, face := range all[n-1] {
+			carrier := c.CarrierOfSimplex(face)
+			want := 2
+			if len(carrier) <= n { // proper carrier: boundary face
+				want = 1
+			}
+			if got := cofacets[simplexKeyOf(face)]; got != want {
+				return fmt.Errorf("homology: (n-1)-simplex %v (carrier %v) lies in %d facets, want %d",
+					face, carrier, got, want)
+			}
+		}
+	}
+
+	// (5) no holes.
+	if !IsAcyclic(c) {
+		return fmt.Errorf("homology: complex has holes: Betti %v", BettiNumbers(c))
+	}
+
+	// (6) faces subdivide faces.
+	for _, byDim := range base.AllSimplices() {
+		for _, bf := range byDim {
+			if len(bf) == len(baseFacet) {
+				continue // the whole base is case (1)+(5)
+			}
+			sub := carriedSubcomplex(c, bf)
+			if sub.Dimension() != len(bf)-1 {
+				return fmt.Errorf("homology: face %v carries a complex of dimension %d, want %d",
+					bf, sub.Dimension(), len(bf)-1)
+			}
+			if !sub.IsPure() {
+				return fmt.Errorf("homology: subcomplex carried by %v is not pure", bf)
+			}
+			if !IsAcyclic(sub) {
+				return fmt.Errorf("homology: subcomplex carried by %v has holes", bf)
+			}
+		}
+	}
+	return nil
+}
+
+// BoundaryComplex extracts the boundary of a pure n-complex: the complex of
+// (n−1)-simplices lying in exactly one facet. For a subdivided simplex this
+// is the subdivided (n−1)-sphere of the paper's §2.
+func BoundaryComplex(c *topology.Complex) *topology.Complex {
+	n := c.Dimension()
+	out := topology.NewComplex()
+	if n < 1 {
+		return out.Seal()
+	}
+	cofacets := make(map[string]int)
+	faces := make(map[string][]topology.Vertex)
+	for _, f := range c.Facets() {
+		forEachCodimOneFace(f, func(face []topology.Vertex) {
+			k := simplexKeyOf(face)
+			cofacets[k]++
+			if _, ok := faces[k]; !ok {
+				faces[k] = append([]topology.Vertex(nil), face...)
+			}
+		})
+	}
+	for k, count := range cofacets {
+		if count != 1 {
+			continue
+		}
+		face := faces[k]
+		mapped := make([]topology.Vertex, len(face))
+		for i, v := range face {
+			mapped[i] = out.MustAddVertex(c.Key(v), c.Color(v))
+		}
+		out.MustAddSimplex(mapped...)
+	}
+	return out.Seal()
+}
+
+// forEachCodimOneFace calls fn on each (d−1)-face of the sorted facet f.
+// The slice is reused; fn must not retain it.
+func forEachCodimOneFace(f []topology.Vertex, fn func([]topology.Vertex)) {
+	face := make([]topology.Vertex, 0, len(f)-1)
+	for omit := range f {
+		face = face[:0]
+		for i, v := range f {
+			if i != omit {
+				face = append(face, v)
+			}
+		}
+		fn(face)
+	}
+}
+
+// carriedSubcomplex builds the subcomplex of c whose simplices are carried
+// inside the base face bf.
+func carriedSubcomplex(c *topology.Complex, bf []topology.Vertex) *topology.Complex {
+	in := make(map[topology.Vertex]bool, len(bf))
+	for _, v := range bf {
+		in[v] = true
+	}
+	carried := func(v topology.Vertex) bool {
+		for _, b := range c.Carrier(v) {
+			if !in[b] {
+				return false
+			}
+		}
+		return true
+	}
+	out := topology.NewComplex()
+	for _, f := range c.Facets() {
+		var sub []topology.Vertex
+		for _, v := range f {
+			if carried(v) {
+				sub = append(sub, v)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		mapped := make([]topology.Vertex, len(sub))
+		for i, v := range sub {
+			mapped[i] = out.MustAddVertex(c.Key(v), c.Color(v))
+		}
+		out.MustAddSimplex(mapped...)
+	}
+	return out.Seal()
+}
+
+func simplexKeyOf(s []topology.Vertex) string {
+	buf := make([]byte, 0, len(s)*4)
+	for i, v := range s {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendInt(buf, int(v))
+	}
+	return string(buf)
+}

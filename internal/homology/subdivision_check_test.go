@@ -1,0 +1,140 @@
+package homology
+
+import (
+	"strings"
+	"testing"
+
+	"waitfree/internal/topology"
+)
+
+func TestVerifySubdividedSimplexPositive(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *topology.Complex
+	}{
+		{"SDS(s1)", topology.SDS(topology.Simplex(1))},
+		{"SDS(s2)", topology.SDS(topology.Simplex(2))},
+		{"SDS2(s2)", topology.SDSPow(topology.Simplex(2), 2)},
+		{"SDS(s3)", topology.SDS(topology.Simplex(3))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := VerifySubdividedSimplex(tc.c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestVerifySubdividedSimplexRejectsBaseComplex(t *testing.T) {
+	if err := VerifySubdividedSimplex(topology.Simplex(2)); err == nil {
+		t.Fatal("a base complex (no subdivision) must be rejected")
+	}
+}
+
+func TestVerifySubdividedSimplexRejectsMissingInterior(t *testing.T) {
+	// A "subdivision" of s¹ whose two edges overlap the carrier conditions
+	// but with two corner vertices for base vertex 0.
+	base := topology.Simplex(1)
+	a := topology.NewSubdivision(base)
+	c0 := a.MustAddVertex("c0", 0)
+	c0b := a.MustAddVertex("c0b", 1) // second vertex carried by base vertex 0
+	c1 := a.MustAddVertex("c1", 1)
+	a.SetCarrier(c0, []topology.Vertex{0})
+	a.SetCarrier(c0b, []topology.Vertex{0})
+	a.SetCarrier(c1, []topology.Vertex{1})
+	a.MustAddSimplex(c0, c0b)
+	a.MustAddSimplex(c0b, c1)
+	a.Seal()
+	err := VerifySubdividedSimplex(a)
+	if err == nil {
+		t.Fatal("two corners over one base vertex must be rejected")
+	}
+}
+
+func TestVerifySubdividedSimplexRejectsPinch(t *testing.T) {
+	// Two triangles sharing only a vertex, dressed as a subdivision of s²:
+	// fails the pseudomanifold/boundary conditions.
+	base := topology.Simplex(2)
+	a := topology.NewSubdivision(base)
+	v := func(key string, col int, car ...topology.Vertex) topology.Vertex {
+		x := a.MustAddVertex(key, col)
+		a.SetCarrier(x, car)
+		return x
+	}
+	p0 := v("p0", 0, 0)
+	p1 := v("p1", 1, 1)
+	p2 := v("p2", 2, 2)
+	q1 := v("q1", 1, 0, 1, 2)
+	q2 := v("q2", 2, 0, 1, 2)
+	a.MustAddSimplex(p0, p1, p2)
+	a.MustAddSimplex(p0, q1, q2) // shares only p0: pinch point
+	a.Seal()
+	if err := VerifySubdividedSimplex(a); err == nil {
+		t.Fatal("pinched complex must be rejected")
+	}
+}
+
+func TestVerifySubdividedSimplexRejectsWrongCornerColor(t *testing.T) {
+	base := topology.Simplex(1)
+	a := topology.NewSubdivision(base)
+	c0 := a.MustAddVertex("c0", 1) // wrong color for base vertex 0
+	c1 := a.MustAddVertex("c1", 0)
+	a.SetCarrier(c0, []topology.Vertex{0})
+	a.SetCarrier(c1, []topology.Vertex{1})
+	a.MustAddSimplex(c0, c1)
+	a.Seal()
+	if err := VerifySubdividedSimplex(a); err == nil {
+		t.Fatal("mis-colored corners must be rejected")
+	}
+}
+
+func TestBoundaryOfSDSTriangleIsCircle(t *testing.T) {
+	sds := topology.SDS(topology.Simplex(2))
+	b := BoundaryComplex(sds)
+	// Boundary of SDS(s²): each base edge subdivided into 3 → 9 edges.
+	if got := len(b.Facets()); got != 9 {
+		t.Fatalf("boundary has %d edges, want 9", got)
+	}
+	if !IsSphere(b, 1) {
+		t.Fatalf("boundary is not a circle: Betti %v", BettiNumbers(b))
+	}
+}
+
+func TestBoundaryOfSDSEdge(t *testing.T) {
+	sds := topology.SDS(topology.Simplex(1))
+	b := BoundaryComplex(sds)
+	// Boundary of a subdivided edge: the two corner points.
+	if got := b.NumVertices(); got != 2 {
+		t.Fatalf("boundary has %d vertices, want 2", got)
+	}
+	if !IsSphere(b, 0) {
+		t.Fatalf("boundary is not S⁰: Betti %v", BettiNumbers(b))
+	}
+}
+
+func TestBoundaryOfTetrahedronSubdivision(t *testing.T) {
+	sds := topology.SDS(topology.Simplex(3))
+	b := BoundaryComplex(sds)
+	if !IsSphere(b, 2) {
+		t.Fatalf("boundary of SDS(s³) is not a 2-sphere: Betti %v", BettiNumbers(b))
+	}
+	// 4 faces × 13 triangles each.
+	if got := len(b.Facets()); got != 52 {
+		t.Fatalf("boundary has %d facets, want 52", got)
+	}
+}
+
+func TestBoundaryOfPointIsEmpty(t *testing.T) {
+	b := BoundaryComplex(topology.Simplex(0))
+	if b.NumVertices() != 0 {
+		t.Fatal("a point has empty boundary")
+	}
+}
+
+func TestVerifyErrorMessagesAreSpecific(t *testing.T) {
+	err := VerifySubdividedSimplex(topology.Simplex(2))
+	if err == nil || !strings.Contains(err.Error(), "not a subdivision") {
+		t.Fatalf("err = %v", err)
+	}
+}

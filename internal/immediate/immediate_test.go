@@ -1,0 +1,344 @@
+package immediate
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSolo(t *testing.T) {
+	o := New[string](3)
+	view, err := o.WriteRead(1, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Size() != 1 || !view.Contains(1) || view[1].Val != "x" {
+		t.Fatalf("solo view = %+v, want only own value", view)
+	}
+}
+
+func TestWriteReadRejectsReuse(t *testing.T) {
+	o := New[int](2)
+	if _, err := o.WriteRead(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.WriteRead(0, 2); err == nil {
+		t.Fatal("second WriteRead by same process should fail")
+	}
+	if _, err := o.WriteRead(-1, 0); err == nil {
+		t.Fatal("negative process id should fail")
+	}
+	if _, err := o.WriteRead(2, 0); err == nil {
+		t.Fatal("out-of-range process id should fail")
+	}
+}
+
+func TestSequentialExecutionIsChainOfViews(t *testing.T) {
+	// When processes run one after another, views must be strictly nested.
+	const n = 4
+	o := New[int](n)
+	var views []View[int]
+	for i := 0; i < n; i++ {
+		v, err := o.WriteRead(i, 100+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+		if v.Size() != i+1 {
+			t.Fatalf("process %d saw %d values, want %d", i, v.Size(), i+1)
+		}
+	}
+	all := make([]View[int], n)
+	copy(all, views)
+	if err := CheckProperties(all); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentPropertiesStress(t *testing.T) {
+	const n = 5
+	for trial := 0; trial < 50; trial++ {
+		o := New[int](n)
+		views := make([]View[int], n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if i%2 == 0 {
+					runtime.Gosched()
+				}
+				v, err := o.WriteRead(i, i*10)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				views[i] = v
+			}(i)
+		}
+		wg.Wait()
+		if err := CheckProperties(views); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Values must be the announced inputs.
+		for i, v := range views {
+			for j := range v {
+				if v[j].Present && v[j].Val != j*10 {
+					t.Fatalf("trial %d: process %d view has wrong value for %d: %d", trial, i, j, v[j].Val)
+				}
+			}
+		}
+	}
+}
+
+// TestCrashSubsets: wait-freedom — any subset of processes may participate
+// (the rest "crashed" before starting) and participants always terminate with
+// valid views among themselves.
+func TestCrashSubsets(t *testing.T) {
+	const n = 4
+	for mask := 1; mask < 1<<n; mask++ {
+		o := New[int](n)
+		views := make([]View[int], n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				v, err := o.WriteRead(i, i)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				views[i] = v
+			}(i)
+		}
+		wg.Wait()
+		if err := CheckProperties(views); err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		// No view may contain a non-participant.
+		for i, v := range views {
+			if v == nil {
+				continue
+			}
+			for j := range v {
+				if v[j].Present && mask&(1<<j) == 0 {
+					t.Fatalf("mask %b: process %d saw non-participant %d", mask, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestDescentBound audits the wait-freedom step bound: at most n+1 level
+// descents per WriteRead.
+func TestDescentBound(t *testing.T) {
+	const n = 6
+	for trial := 0; trial < 20; trial++ {
+		o := New[int](n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, descents, err := o.WriteReadWithStats(i, i)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if descents > n+1 {
+					t.Errorf("process %d used %d descents, bound %d", i, descents, n+1)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+}
+
+// TestViewSizesWitnessLevels: in any execution the set sizes that appear
+// must be consistent with an ordered partition — the distinct view sizes,
+// sorted, must be achievable as prefix sums of block sizes, and every view
+// of size s contains exactly the processes with view size ≤ s.
+func TestViewSizesWitnessLevels(t *testing.T) {
+	const n = 5
+	for trial := 0; trial < 50; trial++ {
+		o := New[int](n)
+		views := make([]View[int], n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				v, _ := o.WriteRead(i, i)
+				views[i] = v
+			}(i)
+		}
+		wg.Wait()
+		for i, vi := range views {
+			for j := range views {
+				if !vi.Contains(j) {
+					continue
+				}
+				// Immediacy ⇒ |S_j| ≤ |S_i| for every j ∈ S_i.
+				if views[j].Size() > vi.Size() {
+					t.Fatalf("trial %d: %d ∈ S_%d but |S_%d|=%d > |S_%d|=%d",
+						trial, j, i, j, views[j].Size(), i, vi.Size())
+				}
+			}
+		}
+	}
+}
+
+// TestOrderedPartitionReconstruction: from any complete concurrent outcome
+// the ordered partition is recoverable, and its prefix unions regenerate
+// the views (the runtime side of Lemma 3.2).
+func TestOrderedPartitionReconstruction(t *testing.T) {
+	const n = 5
+	for trial := 0; trial < 40; trial++ {
+		o := New[int](n)
+		views := make([]View[int], n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				v, err := o.WriteRead(i, i)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				views[i] = v
+			}(i)
+		}
+		wg.Wait()
+		blocks, err := OrderedPartitionOf(views)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Prefix unions regenerate every view.
+		prefix := make(map[int]bool)
+		for _, block := range blocks {
+			for _, p := range block {
+				prefix[p] = true
+			}
+			for _, p := range block {
+				for j := 0; j < n; j++ {
+					if views[p].Contains(j) != prefix[j] {
+						t.Fatalf("trial %d: view of %d does not equal its prefix union", trial, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOrderedPartitionOfSequential(t *testing.T) {
+	const n = 3
+	o := New[int](n)
+	views := make([]View[int], n)
+	for i := 0; i < n; i++ {
+		v, err := o.WriteRead(i, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = v
+	}
+	blocks, err := OrderedPartitionOf(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential execution: singleton blocks in order.
+	if len(blocks) != n {
+		t.Fatalf("blocks = %v, want %d singletons", blocks, n)
+	}
+	for i, b := range blocks {
+		if len(b) != 1 || b[0] != i {
+			t.Fatalf("blocks = %v, want singletons in order", blocks)
+		}
+	}
+}
+
+func TestOrderedPartitionOfRejectsIncomplete(t *testing.T) {
+	// A view mentions process 1, but process 1 has no view.
+	v0 := View[int]{{Val: 0, Present: true}, {Val: 1, Present: true}}
+	if _, err := OrderedPartitionOf([]View[int]{v0, nil}); err == nil {
+		t.Fatal("incomplete outcome must be rejected")
+	}
+}
+
+func TestCheckPropertiesDetectsViolations(t *testing.T) {
+	mk := func(present ...bool) View[int] {
+		v := make(View[int], len(present))
+		for i, p := range present {
+			v[i] = Slot[int]{Present: p}
+		}
+		return v
+	}
+	// Self-inclusion violation: S_0 does not contain 0.
+	if err := CheckProperties([]View[int]{mk(false, true), nil}); err == nil {
+		t.Error("self-inclusion violation not detected")
+	}
+	// Comparability violation: {0} vs {1}... those are comparable? S_0={0},
+	// S_1={1}: neither subset — violation.
+	if err := CheckProperties([]View[int]{mk(true, false), mk(false, true)}); err == nil {
+		t.Error("comparability violation not detected")
+	}
+	// Immediacy violation: 0 ∈ S_1 but S_0 ⊄ S_1.
+	v0 := mk(true, false, true) // S_0 = {0, 2}
+	v1 := mk(true, true, false) // S_1 = {0, 1}
+	if err := CheckProperties([]View[int]{v0, v1, nil}); err == nil {
+		t.Error("violation not detected")
+	}
+	// Valid nested chain passes.
+	if err := CheckProperties([]View[int]{mk(true, false), mk(true, true)}); err != nil {
+		t.Errorf("valid views rejected: %v", err)
+	}
+}
+
+// TestQuickRandomSchedules runs the object under randomized goroutine
+// schedules driven by quick-generated jitter and checks the IS properties.
+func TestQuickRandomSchedules(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 4
+		rng := rand.New(rand.NewSource(seed))
+		jitter := make([]int, n)
+		for i := range jitter {
+			jitter[i] = rng.Intn(3)
+		}
+		o := New[int](n)
+		views := make([]View[int], n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for k := 0; k < jitter[i]; k++ {
+					runtime.Gosched()
+				}
+				v, err := o.WriteRead(i, i)
+				if err == nil {
+					views[i] = v
+				}
+			}(i)
+		}
+		wg.Wait()
+		return CheckProperties(views) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ExampleOneShot_WriteRead() {
+	o := New[string](2)
+	v0, _ := o.WriteRead(0, "alpha")
+	v1, _ := o.WriteRead(1, "beta")
+	fmt.Println(v0.Size(), v1.Size())
+	// Output: 1 2
+}

@@ -1,0 +1,273 @@
+package modelcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file model-checks the paper's main algorithm: the Figure 2 emulation
+// of the k-shot atomic snapshot protocol, exhaustively over all schedules of
+// the iterated immediate snapshot model.
+//
+// The IIS model's atomic unit is a one-shot WriteRead, so a schedule is a
+// choice, at every step, of a memory index j and a non-empty group of
+// processes whose next submission targets M_j; the group forms one block of
+// M_j's ordered partition and every member sees all of M_j's submissions so
+// far (its own group included). The emulation's local transitions (the
+// union/intersection loop of Figure 2) are deterministic, so exhausting the
+// schedule choices exhausts the emulation's behaviours.
+//
+// The tuple universe of a k-shot run is finite — per process, k write tuples
+// (p, s, v_{p,s}) and k read placeholders (p, s, ⊥) — so tuple sets are
+// bitmasks: bit p·2k + 2(s−1) is p's shot-s write tuple, the next bit its
+// shot-s placeholder.
+
+// emProc is one emulator's deterministic local state.
+type emProc struct {
+	op    uint8  // next operation index: 2(s−1) = shot-s write, odd = read; 2k = done
+	j     uint8  // next memory index
+	input uint64 // tuple set to submit next (contains the own current tuple)
+	reads []uint64 // ∩S at each completed read (one per finished shot)
+}
+
+// emState is a global configuration.
+type emState struct {
+	procs []emProc
+	// subs[j][p] is p's submission to memory j (0 = none yet).
+	subs [][]uint64
+}
+
+func (s *emState) clone() *emState {
+	ns := &emState{procs: make([]emProc, len(s.procs)), subs: make([][]uint64, len(s.subs))}
+	for i, p := range s.procs {
+		ns.procs[i] = p
+		ns.procs[i].reads = append([]uint64(nil), p.reads...)
+	}
+	for j := range s.subs {
+		ns.subs[j] = append([]uint64(nil), s.subs[j]...)
+	}
+	return ns
+}
+
+func (s *emState) key() string {
+	var b strings.Builder
+	for _, p := range s.procs {
+		fmt.Fprintf(&b, "%d,%d,%x,%x;", p.op, p.j, p.input, p.reads)
+	}
+	b.WriteByte('|')
+	for _, row := range s.subs {
+		for _, m := range row {
+			fmt.Fprintf(&b, "%x,", m)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// emUniverse describes the tuple-bit layout of a k-shot run.
+type emUniverse struct {
+	n, shots int
+}
+
+func (u emUniverse) writeTuple(p, shot int) uint64 { return 1 << uint(p*2*u.shots+2*(shot-1)) }
+func (u emUniverse) readTuple(p, shot int) uint64  { return 1 << uint(p*2*u.shots+2*(shot-1)+1) }
+
+// ownTuple returns the tuple a process writes during its op-indexed
+// operation (even op = write, odd = read placeholder).
+func (u emUniverse) ownTuple(p int, op uint8) uint64 {
+	shot := int(op)/2 + 1
+	if op%2 == 0 {
+		return u.writeTuple(p, shot)
+	}
+	return u.readTuple(p, shot)
+}
+
+// EmulationResult aggregates the exhaustive exploration of the emulation.
+type EmulationResult struct {
+	States    int
+	Terminals int
+	// MaxMemory is the highest memory index any process consumed + 1.
+	MaxMemory int
+	// ReadOutcomes counts the distinct vectors of read results seen.
+	ReadOutcomes int
+}
+
+// ExploreEmulation exhaustively verifies the Figure 2 emulation of a
+// shots-shot run for n processes (keep n·shots small; n ≤ 3, shots ≤ 2 are
+// practical). At every terminal state it checks the atomic snapshot
+// execution specification: every read contains the reader's own same-shot
+// write, all reads (across processes and shots) are totally ordered by
+// containment on write tuples, and per-process reads are monotone (the
+// runtime content of Claim 4.1). maxMem bounds the memories a schedule may
+// consume; exceeding it (which would witness a livelock, contradicting the
+// emulation's progress guarantee for terminating protocols) is an error.
+func ExploreEmulation(n, maxMem int) (*EmulationResult, error) {
+	return ExploreEmulationShots(n, 1, maxMem)
+}
+
+// ExploreEmulationShots is ExploreEmulation for multi-shot runs.
+func ExploreEmulationShots(n, shots, maxMem int) (*EmulationResult, error) {
+	if n > 3 || n*shots > 6 {
+		return nil, fmt.Errorf("modelcheck: emulation exploration needs n ≤ 3 and n·shots ≤ 6")
+	}
+	u := emUniverse{n: n, shots: shots}
+	init := &emState{procs: make([]emProc, n)}
+	for p := 0; p < n; p++ {
+		init.procs[p] = emProc{input: u.ownTuple(p, 0)}
+	}
+	res := &EmulationResult{States: 1}
+	seen := map[string]struct{}{init.key(): {}}
+	outcomes := map[string]struct{}{}
+	opsTotal := uint8(2 * shots)
+
+	var dfs func(s *emState) error
+	dfs = func(s *emState) error {
+		byMem := map[uint8][]int{}
+		active := false
+		for p := range s.procs {
+			if s.procs[p].op < opsTotal {
+				active = true
+				byMem[s.procs[p].j] = append(byMem[s.procs[p].j], p)
+			}
+		}
+		if !active {
+			res.Terminals++
+			if err := checkEmulationTerminal(u, s); err != nil {
+				return err
+			}
+			outcomes[terminalKey(s)] = struct{}{}
+			return nil
+		}
+		for j, parked := range byMem {
+			if int(j) >= maxMem {
+				return fmt.Errorf("modelcheck: schedule exceeded %d memories (livelock?)", maxMem)
+			}
+			for mask := 1; mask < 1<<len(parked); mask++ {
+				ns := s.clone()
+				for int(j) >= len(ns.subs) {
+					ns.subs = append(ns.subs, make([]uint64, len(ns.procs)))
+				}
+				var group []int
+				for bi, p := range parked {
+					if mask&(1<<bi) != 0 {
+						group = append(group, p)
+						ns.subs[j][p] = ns.procs[p].input
+					}
+				}
+				for _, p := range group {
+					stepEmulator(u, ns, p, j, opsTotal)
+				}
+				if int(j)+1 > res.MaxMemory {
+					res.MaxMemory = int(j) + 1
+				}
+				k := ns.key()
+				if _, ok := seen[k]; ok {
+					continue
+				}
+				seen[k] = struct{}{}
+				res.States++
+				if err := dfs(ns); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := dfs(init); err != nil {
+		return res, err
+	}
+	res.ReadOutcomes = len(outcomes)
+	return res, nil
+}
+
+// stepEmulator applies process p's deterministic Figure 2 transition after
+// its WriteRead at memory j returned.
+func stepEmulator(u emUniverse, s *emState, p int, j uint8, opsTotal uint8) {
+	union := uint64(0)
+	inter := ^uint64(0)
+	any := false
+	for _, sub := range s.subs[j] {
+		if sub == 0 {
+			continue
+		}
+		union |= sub
+		inter &= sub
+		any = true
+	}
+	if !any {
+		inter = 0
+	}
+	pr := &s.procs[p]
+	pr.j = j + 1
+	own := u.ownTuple(p, pr.op)
+	if inter&own == 0 {
+		pr.input = union
+		return
+	}
+	// Own tuple reached the intersection: the emulated operation completes.
+	if pr.op%2 == 1 {
+		pr.reads = append(pr.reads, inter)
+	}
+	pr.op++
+	if pr.op >= opsTotal {
+		pr.input = 0
+		return
+	}
+	pr.input = union | u.ownTuple(p, pr.op)
+}
+
+// checkEmulationTerminal validates the atomic snapshot spec on a terminal
+// state's read results.
+func checkEmulationTerminal(u emUniverse, s *emState) error {
+	n := len(s.procs)
+	writeMask := uint64(0)
+	for p := 0; p < n; p++ {
+		for sh := 1; sh <= u.shots; sh++ {
+			writeMask |= u.writeTuple(p, sh)
+		}
+	}
+	type readRec struct {
+		proc, shot int
+		mask       uint64
+	}
+	var reads []readRec
+	for p := 0; p < n; p++ {
+		if len(s.procs[p].reads) != u.shots {
+			return fmt.Errorf("modelcheck: P%d finished with %d reads, want %d", p, len(s.procs[p].reads), u.shots)
+		}
+		for sh := 1; sh <= u.shots; sh++ {
+			r := s.procs[p].reads[sh-1]
+			if r&u.writeTuple(p, sh) == 0 {
+				return fmt.Errorf("modelcheck: P%d's shot-%d read misses its own write (mask %x)", p, sh, r)
+			}
+			reads = append(reads, readRec{proc: p, shot: sh, mask: r & writeMask})
+		}
+		// Per-process monotonicity (Claim 4.1: settled tuples persist).
+		for sh := 1; sh < u.shots; sh++ {
+			a := s.procs[p].reads[sh-1] & writeMask
+			b := s.procs[p].reads[sh] & writeMask
+			if a&b != a {
+				return fmt.Errorf("modelcheck: P%d's reads went backwards between shots %d and %d", p, sh, sh+1)
+			}
+		}
+	}
+	// Global comparability on write tuples.
+	for a := 0; a < len(reads); a++ {
+		for b := a + 1; b < len(reads); b++ {
+			ra, rb := reads[a].mask, reads[b].mask
+			if ra&rb != ra && ra&rb != rb {
+				return fmt.Errorf("modelcheck: incomparable reads P%d/%d (%x) and P%d/%d (%x)",
+					reads[a].proc, reads[a].shot, ra, reads[b].proc, reads[b].shot, rb)
+			}
+		}
+	}
+	return nil
+}
+
+func terminalKey(s *emState) string {
+	var b strings.Builder
+	for _, p := range s.procs {
+		fmt.Fprintf(&b, "%x;", p.reads)
+	}
+	return b.String()
+}

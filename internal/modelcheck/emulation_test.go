@@ -1,0 +1,80 @@
+package modelcheck
+
+import "testing"
+
+// TestEmulationExhaustiveTwoProcs model-checks Proposition 4.1 for two
+// processes and one shot: every IIS schedule yields a legal atomic snapshot
+// execution.
+func TestEmulationExhaustiveTwoProcs(t *testing.T) {
+	res, err := ExploreEmulation(2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminals == 0 {
+		t.Fatal("no terminal states")
+	}
+	t.Logf("n=2: %d states, %d terminals, %d read outcomes, %d memories max",
+		res.States, res.Terminals, res.ReadOutcomes, res.MaxMemory)
+	// Two processes, one shot: the read outcomes are the three snapshot
+	// scenarios (p first, q first, both see both).
+	if res.ReadOutcomes < 3 {
+		t.Fatalf("only %d outcomes; schedules not fully explored", res.ReadOutcomes)
+	}
+}
+
+// TestEmulationExhaustiveThreeProcs is the larger instance.
+func TestEmulationExhaustiveThreeProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space; skipped with -short")
+	}
+	res, err := ExploreEmulation(3, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=3: %d states, %d terminals, %d read outcomes, %d memories max",
+		res.States, res.Terminals, res.ReadOutcomes, res.MaxMemory)
+}
+
+// TestEmulationExhaustiveTwoShots extends the exhaustive Prop 4.1 check to
+// a 2-shot run: per-process read monotonicity (Claim 4.1's persistence) is
+// now exercised across shots, over every schedule.
+func TestEmulationExhaustiveTwoShots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space; skipped with -short")
+	}
+	res, err := ExploreEmulationShots(2, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=2 shots=2: %d states, %d terminals, %d outcomes, %d memories max",
+		res.States, res.Terminals, res.ReadOutcomes, res.MaxMemory)
+	if res.Terminals == 0 {
+		t.Fatal("no terminal states")
+	}
+}
+
+func TestEmulationRejectsOversizedUniverse(t *testing.T) {
+	if _, err := ExploreEmulationShots(3, 3, 20); err == nil {
+		t.Fatal("n·shots > 6 should be rejected")
+	}
+}
+
+func TestEmulationSoloProcess(t *testing.T) {
+	res, err := ExploreEmulation(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solo: exactly one schedule per step; 2 memories (write, read).
+	if res.MaxMemory != 2 {
+		t.Fatalf("solo emulation used %d memories, want 2", res.MaxMemory)
+	}
+	if res.ReadOutcomes != 1 {
+		t.Fatalf("solo emulation has %d outcomes, want 1", res.ReadOutcomes)
+	}
+}
+
+func TestEmulationRejectsLargeN(t *testing.T) {
+	if _, err := ExploreEmulation(4, 10); err == nil {
+		t.Fatal("n=4 should be rejected")
+	}
+}

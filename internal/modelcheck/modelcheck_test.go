@@ -1,0 +1,84 @@
+package modelcheck
+
+import (
+	"testing"
+
+	"waitfree/internal/topology"
+)
+
+// TestExploreAllInterleavings exhaustively verifies the participating-set
+// algorithm for 1–3 processes: every interleaving of its atomic steps ends
+// in a state satisfying the immediate snapshot properties.
+func TestExploreAllInterleavings(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		res, err := Explore(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Terminal == 0 {
+			t.Fatalf("n=%d: no terminal states", n)
+		}
+		t.Logf("n=%d: %d states, %d terminal, %d distinct outcomes", n, res.States, res.Terminal, res.Outcomes)
+	}
+}
+
+// TestExploreFourProcesses is the largest exhaustive instance; it is kept
+// separate so -short can skip it.
+func TestExploreFourProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("state space is large; skipped with -short")
+	}
+	res, err := Explore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=4: %d states, %d terminal, %d distinct outcomes", res.States, res.Terminal, res.Outcomes)
+	if res.Outcomes != topology.CountOrderedPartitions(4) {
+		t.Fatalf("n=4: %d outcomes, want Fubini %d", res.Outcomes, topology.CountOrderedPartitions(4))
+	}
+}
+
+// TestReachableOutcomesAreOrderedPartitions is Lemma 3.2 verified against
+// the step-level algorithm: the set of reachable outcome assignments equals
+// the ordered partitions, exactly.
+func TestReachableOutcomesAreOrderedPartitions(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		got, err := ReachableOutcomes(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := OrderedPartitionOutcomeKeys(n)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d reachable outcomes, want %d (Fubini %d)",
+				n, len(got), len(want), topology.CountOrderedPartitions(n))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: outcome sets differ at %d: %q vs %q", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExploreRejectsLargeN(t *testing.T) {
+	if _, err := Explore(5); err == nil {
+		t.Fatal("n=5 should be rejected")
+	}
+	if _, err := ReachableOutcomes(5); err == nil {
+		t.Fatal("n=5 should be rejected")
+	}
+}
+
+func TestStepMechanics(t *testing.T) {
+	// Solo process: write (level 2→1), scan sees itself at level 1 ⇒ |S|=1
+	// ≥ 1 ⇒ done with S={0}.
+	s := &state{shared: []int8{0}, level: []int8{2}, pcs: []pc{pcWrite}, view: []uint32{0}}
+	s = step(s, 0, 1)
+	if s.shared[0] != 1 || s.pcs[0] != pcScan {
+		t.Fatalf("after write: %+v", s)
+	}
+	s = step(s, 0, 1)
+	if s.pcs[0] != pcDone || s.view[0] != 1 {
+		t.Fatalf("after scan: %+v", s)
+	}
+}

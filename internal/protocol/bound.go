@@ -1,0 +1,117 @@
+package protocol
+
+import (
+	"fmt"
+
+	"waitfree/internal/topology"
+)
+
+// DecisionFunc is a decision function in the sense of §3.3, expressed on the
+// iterated immediate snapshot full-information protocol: given a process,
+// the number of rounds it has participated in, and the canonical key of its
+// current view, report whether the process has decided. Once it returns
+// true for a process's view it must stay true for all extensions (the
+// explorer stops scheduling decided processes, mirroring the pruned tree in
+// the proof of Lemma 3.1).
+type DecisionFunc func(proc, round int, viewKey string) bool
+
+// ErrUnbounded reports that the execution tree of Lemma 3.1 has a path on
+// which some process participates more than maxRounds times without
+// deciding — a witness that the decision function is not (boundedly)
+// wait-free.
+var ErrUnbounded = fmt.Errorf("protocol: execution tree exceeds the round bound")
+
+// ExploreDecisionBound walks the tree of Lemma 3.1: all iterated immediate
+// snapshot executions in which a process takes no further steps after it has
+// decided. Each tree edge schedules a non-empty subset of the undecided
+// processes for one one-shot round (in some ordered partition). The tree has
+// finite branching; by König's lemma it is finite iff the decision function
+// is bounded wait-free.
+//
+// It returns the bound b: the maximum, over all executions, of the number of
+// rounds any single process participates in before deciding. If some path
+// drives a process beyond maxRounds undecided participations, it returns
+// ErrUnbounded (with the offending bound so far).
+func ExploreDecisionBound(procs int, decided DecisionFunc, maxRounds int) (int, error) {
+	type state struct {
+		keys   []string
+		done   []bool
+		rounds []int // participations per process
+	}
+	init := state{
+		keys:   make([]string, procs),
+		done:   make([]bool, procs),
+		rounds: make([]int, procs),
+	}
+	for i := 0; i < procs; i++ {
+		init.keys[i] = InputKey(i)
+		if decided(i, 0, init.keys[i]) {
+			init.done[i] = true
+		}
+	}
+
+	bound := 0
+	var dfs func(st state) error
+	dfs = func(st state) error {
+		var undecided []int
+		for i := 0; i < procs; i++ {
+			if !st.done[i] {
+				undecided = append(undecided, i)
+			}
+		}
+		if len(undecided) == 0 {
+			return nil // leaf: everyone decided
+		}
+		// Schedule every non-empty subset of the undecided processes, in
+		// every ordered partition. (Processes outside the subset are the
+		// ones "not appearing" this round; they may appear later.)
+		for mask := 1; mask < 1<<len(undecided); mask++ {
+			var sched []int
+			for b, p := range undecided {
+				if mask&(1<<b) != 0 {
+					sched = append(sched, p)
+				}
+			}
+			var err error
+			topology.ForEachOrderedPartition(len(sched), func(blocks [][]int) {
+				if err != nil {
+					return
+				}
+				next := state{
+					keys:   append([]string(nil), st.keys...),
+					done:   append([]bool(nil), st.done...),
+					rounds: append([]int(nil), st.rounds...),
+				}
+				var seen []string
+				for _, block := range blocks {
+					for _, bi := range block {
+						seen = append(seen, st.keys[sched[bi]])
+					}
+					for _, bi := range block {
+						p := sched[bi]
+						next.keys[p] = ViewKey(st.keys[p], seen)
+						next.rounds[p]++
+						if next.rounds[p] > bound {
+							bound = next.rounds[p]
+						}
+						if decided(p, next.rounds[p], next.keys[p]) {
+							next.done[p] = true
+						} else if next.rounds[p] >= maxRounds {
+							err = fmt.Errorf("%w: process %d undecided after %d rounds", ErrUnbounded, p, next.rounds[p])
+							return
+						}
+					}
+				}
+				err = dfs(next)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(init); err != nil {
+		return bound, err
+	}
+	return bound, nil
+}

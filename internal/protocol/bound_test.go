@@ -1,0 +1,92 @@
+package protocol
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDecisionBoundFixedRounds(t *testing.T) {
+	// "Decide after b rounds" is bounded wait-free with bound exactly b.
+	for _, procs := range []int{1, 2} {
+		for b := 1; b <= 2; b++ {
+			decided := func(p, round int, key string) bool { return round >= b }
+			got, err := ExploreDecisionBound(procs, decided, b+2)
+			if err != nil {
+				t.Fatalf("procs=%d b=%d: %v", procs, b, err)
+			}
+			if got != b {
+				t.Fatalf("procs=%d b=%d: bound = %d", procs, b, got)
+			}
+		}
+	}
+}
+
+func TestDecisionBoundThreeProcsOneRound(t *testing.T) {
+	decided := func(p, round int, key string) bool { return round >= 1 }
+	got, err := ExploreDecisionBound(3, decided, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("bound = %d, want 1", got)
+	}
+}
+
+func TestDecisionBoundAloneOrAll(t *testing.T) {
+	// Two processes: every one-shot view is either solo or full, so "decide
+	// when your view is solo or contains everyone" decides in exactly one
+	// round — bounded with b = 1.
+	decided := func(p, round int, key string) bool {
+		if round == 0 {
+			return false
+		}
+		// The round-1 key is S(P<p>|{...}); solo views contain one input
+		// key, full views contain both.
+		return strings.Contains(key, "{P0 P1}") || strings.Contains(key, "{P"+itoa(p)+"})")
+	}
+	got, err := ExploreDecisionBound(2, decided, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("bound = %d, want 1", got)
+	}
+}
+
+func TestDecisionBoundUnboundedDetected(t *testing.T) {
+	// "Decide only when you saw everyone" is not wait-free: a process
+	// running solo forever never decides. König's tree has an infinite
+	// path, reported as ErrUnbounded.
+	decided := func(p, round int, key string) bool {
+		return round >= 1 && strings.Contains(key, "P0") && strings.Contains(key, "P1")
+	}
+	_, err := ExploreDecisionBound(2, decided, 4)
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestDecisionBoundDecidedAtInput(t *testing.T) {
+	// Deciding immediately on the input gives bound 0.
+	decided := func(p, round int, key string) bool { return true }
+	got, err := ExploreDecisionBound(3, decided, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("bound = %d, want 0", got)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,58 @@
+package register
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestScanDoubleCollectQuiescent(t *testing.T) {
+	s := NewSnapshot[int](3)
+	s.Update(0, 10)
+	s.Update(2, 30)
+	view, collects, ok := s.ScanDoubleCollect(8)
+	if !ok {
+		t.Fatal("quiescent double collect must succeed")
+	}
+	if collects != 2 {
+		t.Fatalf("quiescent scan used %d collects, want 2", collects)
+	}
+	if !view[0].Present || view[0].Val != 10 || view[1].Present || view[2].Val != 30 {
+		t.Fatalf("view = %+v", view)
+	}
+}
+
+// TestScanDoubleCollectGivesUpUnderContention demonstrates the ablation's
+// point: without the embedded-view mechanism the naive scan is only
+// obstruction-free — a continuously moving writer starves it.
+func TestScanDoubleCollectGivesUpUnderContention(t *testing.T) {
+	s := NewSnapshot[int](2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for u := 0; ; u++ {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Update(0, u)
+			}
+		}
+	}()
+	gaveUp := false
+	for trial := 0; trial < 200 && !gaveUp; trial++ {
+		if _, _, ok := s.ScanDoubleCollect(3); !ok {
+			gaveUp = true
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !gaveUp {
+		t.Skip("writer never interfered (single-core scheduling); nothing to observe")
+	}
+	// Meanwhile the wait-free scan always terminates within its bound.
+	if _, collects := s.ScanWithStats(); collects > 4 {
+		t.Fatalf("wait-free scan used %d collects, bound is 4", collects)
+	}
+}

@@ -1,0 +1,307 @@
+// Package solver implements the decidable fragment of the paper's
+// Proposition 3.1, the Herlihy–Shavit condition re-derived in the paper:
+//
+//	a bounded-input task T = (I, O, Δ) is wait-free solvable iff for some b
+//	there is a color-preserving simplicial map δ : SDS^b(I) → O with
+//	δ(s) ∈ Δ(carrier(s)) for every simplex s.
+//
+// SolveAtLevel searches exhaustively for such a map at a fixed subdivision
+// level b by backtracking over vertex assignments with incremental simplex
+// checking, so "no map exists at level b" is a proof, not a timeout (unless
+// the node budget is exceeded, which is reported as ErrBudget). Full
+// solvability checking is undecidable for three or more processes
+// [Gafni–Koutsoupias]; bounding b is what makes the checker terminate.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"waitfree/internal/tasks"
+	"waitfree/internal/topology"
+)
+
+// ErrBudget reports that the search exceeded its node budget, so neither
+// solvability nor unsolvability was established at that level.
+var ErrBudget = errors.New("solver: node budget exceeded")
+
+// Order selects the vertex ordering strategy of the backtracking search.
+type Order int
+
+// Ordering strategies. OrderDFS is the default and is dramatically faster
+// on subdivisions of low-dimensional complexes: it assigns each constrained
+// chain consecutively so conflicts backtrack locally. OrderBFS is retained
+// as an ablation (see bench_test.go) — it interleaves independent regions
+// and can thrash across them.
+const (
+	OrderDFS Order = iota
+	OrderBFS
+)
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes caps the number of assignment nodes explored per level.
+	// 0 means DefaultMaxNodes.
+	MaxNodes int64
+
+	// Order selects the vertex ordering (default OrderDFS).
+	Order Order
+}
+
+// DefaultMaxNodes is the per-level search budget.
+const DefaultMaxNodes = 50_000_000
+
+// Result reports the outcome of a solvability check.
+type Result struct {
+	Task     *tasks.Task
+	Level    int  // subdivision level b checked
+	Solvable bool // whether a decision map exists at Level
+
+	// Map is the decision map when Solvable (From = Subdivision, To =
+	// task.Outputs).
+	Map         *topology.SimplicialMap
+	Subdivision *topology.Complex // SDS^Level(Inputs)
+
+	Nodes int64 // assignment nodes explored
+}
+
+// SolveAtLevel decides whether the task has a decision map at subdivision
+// level b.
+func SolveAtLevel(task *tasks.Task, b int, opts Options) (*Result, error) {
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	sub := topology.SDSPow(task.Inputs, b)
+	res := &Result{Task: task, Level: b, Subdivision: sub}
+
+	nv := sub.NumVertices()
+	// Per-vertex domains: same color, and allowed as a singleton decision
+	// for the vertex's own carrier.
+	domains := make([][]topology.Vertex, nv)
+	for v := 0; v < nv; v++ {
+		carrier := sub.Carrier(topology.Vertex(v))
+		for _, w := range task.Outputs.VerticesOfColor(sub.Color(topology.Vertex(v))) {
+			if task.Allowed(carrier, []topology.Vertex{w}) {
+				domains[v] = append(domains[v], w)
+			}
+		}
+		if len(domains[v]) == 0 {
+			return res, nil // unsolvable: a vertex has no legal decision
+		}
+	}
+
+	order := searchOrder(sub, domains, opts.Order)
+	pos := make([]int, nv) // vertex → position in order
+	for p, v := range order {
+		pos[v] = p
+	}
+
+	// For each simplex, the position at which its last vertex is assigned;
+	// checks[p] lists simplices fully assigned exactly when position p is.
+	// Carriers are precomputed: they are looked up once per search node.
+	checks := make([][]checkItem, nv)
+	for _, byDim := range sub.AllSimplices() {
+		for _, s := range byDim {
+			last := 0
+			for _, v := range s {
+				if pos[v] > last {
+					last = pos[v]
+				}
+			}
+			checks[last] = append(checks[last], checkItem{
+				simplex: s,
+				carrier: sub.CarrierOfSimplex(s),
+			})
+		}
+	}
+
+	assign := make([]topology.Vertex, nv)
+	var nodes int64
+	var dfs func(p int) (bool, error)
+	dfs = func(p int) (bool, error) {
+		if p == nv {
+			return true, nil
+		}
+		v := order[p]
+		for _, w := range domains[v] {
+			nodes++
+			if nodes > maxNodes {
+				return false, ErrBudget
+			}
+			assign[v] = w
+			if consistent(task, checks[p], assign) {
+				ok, err := dfs(p + 1)
+				if ok || err != nil {
+					return ok, err
+				}
+			}
+		}
+		return false, nil
+	}
+	ok, err := dfs(0)
+	res.Nodes = nodes
+	if err != nil {
+		return res, fmt.Errorf("%w (level %d, %d nodes)", err, b, nodes)
+	}
+	res.Solvable = ok
+	if ok {
+		m := topology.NewSimplicialMap(sub, task.Outputs)
+		copy(m.Image, assign)
+		res.Map = m
+	}
+	return res, nil
+}
+
+// checkItem is a simplex with its precomputed carrier.
+type checkItem struct {
+	simplex []topology.Vertex
+	carrier []topology.Vertex
+}
+
+// consistent verifies every newly completed simplex: its image must be a
+// simplex of the output complex and allowed for the simplex's carrier.
+func consistent(task *tasks.Task, newly []checkItem, assign []topology.Vertex) bool {
+	for _, item := range newly {
+		image := make([]topology.Vertex, 0, len(item.simplex))
+		for _, v := range item.simplex {
+			image = append(image, assign[v])
+		}
+		image = dedupe(image)
+		if len(image) > 1 && !task.Outputs.HasSimplex(image) {
+			return false
+		}
+		if !task.Allowed(item.carrier, image) {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupe(vs []topology.Vertex) []topology.Vertex {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != vs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// searchOrder returns a vertex ordering for the backtracking search over
+// the 1-skeleton, starting from the most constrained vertices. Depth-first
+// (the default) matters: it assigns each locally-constrained chain of the
+// subdivision consecutively, so a conflict backtracks within the chain
+// instead of thrashing across independent regions of the complex.
+// Breadth-first is kept for the ordering ablation.
+func searchOrder(sub *topology.Complex, domains [][]topology.Vertex, strategy Order) []topology.Vertex {
+	nv := sub.NumVertices()
+	adj := make([][]topology.Vertex, nv)
+	all := sub.AllSimplices()
+	if len(all) > 1 {
+		for _, e := range all[1] {
+			adj[e[0]] = append(adj[e[0]], e[1])
+			adj[e[1]] = append(adj[e[1]], e[0])
+		}
+	}
+	visited := make([]bool, nv)
+	var order []topology.Vertex
+
+	neighbors := func(v topology.Vertex) []topology.Vertex {
+		ns := append([]topology.Vertex(nil), adj[v]...)
+		sort.Slice(ns, func(i, j int) bool {
+			di, dj := len(domains[ns[i]]), len(domains[ns[j]])
+			if di != dj {
+				return di < dj
+			}
+			return ns[i] < ns[j]
+		})
+		return ns
+	}
+	var dfs func(v topology.Vertex)
+	dfs = func(v topology.Vertex) {
+		visited[v] = true
+		order = append(order, v)
+		for _, u := range neighbors(v) {
+			if !visited[u] {
+				dfs(u)
+			}
+		}
+	}
+	bfs := func(seed topology.Vertex) {
+		queue := []topology.Vertex{seed}
+		visited[seed] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, u := range neighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+
+	// Seed repeatedly from the unvisited vertex with the smallest domain
+	// (handles disconnected input complexes).
+	for len(order) < nv {
+		seed := -1
+		for v := 0; v < nv; v++ {
+			if !visited[v] && (seed < 0 || len(domains[v]) < len(domains[seed])) {
+				seed = v
+			}
+		}
+		if strategy == OrderBFS {
+			bfs(topology.Vertex(seed))
+		} else {
+			dfs(topology.Vertex(seed))
+		}
+	}
+	return order
+}
+
+// SolveUpTo tries levels 0 … maxLevel and returns the first solvable result,
+// or the last (unsolvable) one. A budget error at any level aborts.
+func SolveUpTo(task *tasks.Task, maxLevel int, opts Options) (*Result, error) {
+	var last *Result
+	for b := 0; b <= maxLevel; b++ {
+		res, err := SolveAtLevel(task, b, opts)
+		if err != nil {
+			return res, err
+		}
+		if res.Solvable {
+			return res, nil
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// VerifyDecisionMap independently re-checks a claimed decision map against
+// the Proposition 3.1 conditions. Used by tests and by callers that persist
+// maps.
+func VerifyDecisionMap(task *tasks.Task, res *Result) error {
+	if !res.Solvable || res.Map == nil {
+		return errors.New("solver: result carries no map")
+	}
+	if err := res.Map.Validate(); err != nil {
+		return fmt.Errorf("solver: map not simplicial: %w", err)
+	}
+	if !res.Map.ColorPreserving() {
+		return errors.New("solver: map not color preserving")
+	}
+	sub := res.Subdivision
+	for _, byDim := range sub.AllSimplices() {
+		for _, s := range byDim {
+			image := res.Map.ImageSimplex(s)
+			if !task.Allowed(sub.CarrierOfSimplex(s), image) {
+				return fmt.Errorf("solver: simplex %v image %v not allowed for its carrier", s, image)
+			}
+		}
+	}
+	return nil
+}

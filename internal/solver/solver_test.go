@@ -1,0 +1,263 @@
+package solver
+
+import (
+	"errors"
+	"testing"
+
+	"waitfree/internal/tasks"
+	"waitfree/internal/topology"
+)
+
+func TestIdentitySolvableAtLevelZero(t *testing.T) {
+	res, err := SolveAtLevel(tasks.IdentityTask(3), 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solvable {
+		t.Fatal("identity task must be solvable at level 0")
+	}
+	if err := VerifyDecisionMap(tasks.IdentityTask(3), res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenamingSolvableWithLargeNamespace(t *testing.T) {
+	// With ids usable directly and M ≥ procs the complex-level task is
+	// trivially solvable (see the Renaming doc comment).
+	task := tasks.Renaming(2, 3)
+	res, err := SolveAtLevel(task, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solvable {
+		t.Fatal("renaming(2,3) must be solvable at level 0")
+	}
+	if err := VerifyDecisionMap(task, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConsensusUnsolvable is the FLP-rooted impossibility through the
+// paper's characterization: no decision map exists at any level (we prove
+// levels 0–3 exhaustively).
+func TestConsensusUnsolvable(t *testing.T) {
+	task := tasks.Consensus(2)
+	for b := 0; b <= 3; b++ {
+		res, err := SolveAtLevel(task, b, Options{})
+		if err != nil {
+			t.Fatalf("level %d: %v", b, err)
+		}
+		if res.Solvable {
+			t.Fatalf("2-process consensus reported solvable at level %d", b)
+		}
+	}
+}
+
+func TestThreeProcConsensusUnsolvable(t *testing.T) {
+	res, err := SolveAtLevel(tasks.Consensus(3), 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solvable {
+		t.Fatal("3-process consensus reported solvable at level 1")
+	}
+}
+
+// TestSetConsensusUnsolvable is the k-set consensus impossibility (Sperner's
+// lemma in disguise): (3,2)-set consensus has no decision map at level 1.
+func TestSetConsensusUnsolvable(t *testing.T) {
+	task := tasks.SetConsensus(3, 2)
+	for b := 0; b <= 1; b++ {
+		res, err := SolveAtLevel(task, b, Options{})
+		if err != nil {
+			t.Fatalf("level %d: %v", b, err)
+		}
+		if res.Solvable {
+			t.Fatalf("(3,2)-set consensus reported solvable at level %d", b)
+		}
+	}
+}
+
+func TestTrivialSetConsensusSolvable(t *testing.T) {
+	// k = procs: decide your own id.
+	task := tasks.SetConsensus(3, 3)
+	res, err := SolveAtLevel(task, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solvable {
+		t.Fatal("(3,3)-set consensus must be solvable at level 0")
+	}
+	if err := VerifyDecisionMap(task, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApproxAgreementLevels pins the solvable level to the geometry: SDS
+// cuts an edge into 3, so reaching grid distance D needs 3^b ≥ D.
+func TestApproxAgreementLevels(t *testing.T) {
+	cases := []struct {
+		d         int
+		wantLevel int
+	}{
+		{2, 1}, // 3 ≥ 2
+		{3, 1}, // 3 ≥ 3
+		{4, 2}, // 9 ≥ 4 > 3
+		{9, 2},
+	}
+	for _, tc := range cases {
+		task := tasks.ApproxAgreement(tc.d)
+		res, err := SolveUpTo(task, tc.wantLevel, Options{})
+		if err != nil {
+			t.Fatalf("d=%d: %v", tc.d, err)
+		}
+		if !res.Solvable || res.Level != tc.wantLevel {
+			t.Fatalf("d=%d: solvable=%v at level %d, want level %d",
+				tc.d, res.Solvable, res.Level, tc.wantLevel)
+		}
+		if err := VerifyDecisionMap(task, res); err != nil {
+			t.Fatalf("d=%d: %v", tc.d, err)
+		}
+	}
+}
+
+// TestThreeProcApproxAgreementSolvable: the n-process generalization is
+// solvable too — at level 1 for the unit grid — in contrast with the
+// consensus-like tasks. 76 search nodes against SDS of eight glued
+// triangles.
+func TestThreeProcApproxAgreementSolvable(t *testing.T) {
+	task := tasks.ApproxAgreementN(3, 2)
+	res, err := SolveUpTo(task, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solvable || res.Level != 1 {
+		t.Fatalf("solvable=%v level=%d, want solvable at 1", res.Solvable, res.Level)
+	}
+	if err := VerifyDecisionMap(task, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxAgreementUnsolvableBelowLevel(t *testing.T) {
+	res, err := SolveAtLevel(tasks.ApproxAgreement(4), 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solvable {
+		t.Fatal("1/4-agreement reported solvable at level 1 (needs 9 segments)")
+	}
+}
+
+// TestWeakSymmetryBreaking documents a boundary of the (I, O, Δ) formalism:
+// the famous WSB impossibility holds only for symmetric (comparison-based)
+// protocols, a restriction colored tasks do not express. With ids usable in
+// decisions, the checker rightly finds a level-0 map ("P0 says 0, the rest
+// say 1") for every process count.
+func TestWeakSymmetryBreaking(t *testing.T) {
+	for _, procs := range []int{2, 3} {
+		task := tasks.WeakSymmetryBreaking(procs)
+		res, err := SolveAtLevel(task, 0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Solvable {
+			t.Fatalf("%d-process WSB (non-symmetric formulation) must be solvable at level 0", procs)
+		}
+		if err := VerifyDecisionMap(task, res); err != nil {
+			t.Fatal(err)
+		}
+		// The found map must actually break symmetry: the full-tuple image
+		// is non-constant by the output complex construction.
+		img := res.Map.ImageSimplex(res.Subdivision.Facets()[0])
+		vals := map[string]bool{}
+		for _, w := range img {
+			vals[task.OutputValue(w)] = true
+		}
+		if len(vals) < 2 && procs > 1 {
+			t.Fatal("full-participation image is constant")
+		}
+	}
+}
+
+// TestLoopAgreementContractibility probes the Herlihy–Rajsbaum loop
+// agreement family — the source of the 3-process undecidability the paper
+// cites: a contractible loop (boundary of a solid triangle) is solvable
+// immediately, while the same loop around a hollow triangle has no decision
+// map at the levels we can exhaust. (No bounded level can *prove* the
+// hollow case unsolvable for all b — that is the undecidability.)
+func TestLoopAgreementContractibility(t *testing.T) {
+	mk := func(hollow bool) *tasks.Task {
+		c := topology.NewComplex()
+		a := c.MustAddVertex("a", topology.Uncolored)
+		b := c.MustAddVertex("b", topology.Uncolored)
+		d := c.MustAddVertex("d", topology.Uncolored)
+		if hollow {
+			c.MustAddSimplex(a, b)
+			c.MustAddSimplex(b, d)
+			c.MustAddSimplex(a, d)
+		} else {
+			c.MustAddSimplex(a, b, d)
+		}
+		c.Seal()
+		task, err := tasks.LoopAgreement(c, [3]topology.Vertex{a, b, d},
+			[3][]topology.Vertex{{a, b}, {b, d}, {a, d}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return task
+	}
+
+	solid := mk(false)
+	res, err := SolveAtLevel(solid, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solvable {
+		t.Fatal("contractible loop agreement must be solvable at level 0")
+	}
+	if err := VerifyDecisionMap(solid, res); err != nil {
+		t.Fatal(err)
+	}
+
+	hollowTask := mk(true)
+	for b := 0; b <= 1; b++ {
+		res, err := SolveAtLevel(hollowTask, b, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Solvable {
+			t.Fatalf("non-contractible loop agreement reported solvable at level %d", b)
+		}
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	_, err := SolveAtLevel(tasks.SetConsensus(3, 2), 1, Options{MaxNodes: 3})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestSolveUpToReturnsLastUnsolvable(t *testing.T) {
+	res, err := SolveUpTo(tasks.Consensus(2), 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solvable {
+		t.Fatal("consensus must stay unsolvable")
+	}
+	if res.Level != 2 {
+		t.Fatalf("last level checked = %d, want 2", res.Level)
+	}
+}
+
+func TestVerifyDecisionMapRejectsUnsolvable(t *testing.T) {
+	res, err := SolveAtLevel(tasks.Consensus(2), 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDecisionMap(tasks.Consensus(2), res); err == nil {
+		t.Fatal("VerifyDecisionMap must reject results without maps")
+	}
+}

@@ -1,0 +1,90 @@
+package solver
+
+import (
+	"testing"
+
+	"waitfree/internal/tasks"
+)
+
+// TestTwoProcConsensusUnsolvableExactly: unlike the level-bounded checker,
+// DecideTwoProcess proves consensus unsolvable at EVERY level.
+func TestTwoProcConsensusUnsolvableExactly(t *testing.T) {
+	res, err := DecideTwoProcess(tasks.Consensus(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solvable {
+		t.Fatal("2-process consensus must be unsolvable (at every level)")
+	}
+}
+
+func TestTwoProcApproxAgreementLevels(t *testing.T) {
+	// SDS cuts an edge into 3: grid distance d needs level ⌈log₃ d⌉.
+	cases := []struct {
+		d    int
+		want int
+	}{
+		{2, 1}, {3, 1}, {4, 2}, {9, 2}, {10, 3}, {27, 3}, {28, 4},
+	}
+	for _, tc := range cases {
+		res, err := DecideTwoProcess(tasks.ApproxAgreement(tc.d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Solvable {
+			t.Fatalf("d=%d: ε-agreement must be solvable", tc.d)
+		}
+		if res.Level != tc.want {
+			t.Errorf("d=%d: level %d, want %d", tc.d, res.Level, tc.want)
+		}
+	}
+}
+
+// TestTwoProcAgreesWithBoundedChecker cross-validates the exact procedure
+// against exhaustive search at the level it predicts.
+func TestTwoProcAgreesWithBoundedChecker(t *testing.T) {
+	for _, task := range []*tasks.Task{
+		tasks.ApproxAgreement(2),
+		tasks.ApproxAgreement(4),
+		tasks.Renaming(2, 3),
+		tasks.Consensus(2),
+	} {
+		exact, err := DecideTwoProcess(task)
+		if err != nil {
+			t.Fatalf("%s: %v", task.Name, err)
+		}
+		maxB := 2
+		if exact.Solvable {
+			maxB = exact.Level
+		}
+		bounded, err := SolveUpTo(task, maxB, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", task.Name, err)
+		}
+		if exact.Solvable != bounded.Solvable {
+			t.Errorf("%s: exact=%v bounded=%v disagree", task.Name, exact.Solvable, bounded.Solvable)
+		}
+		if exact.Solvable && bounded.Level != exact.Level {
+			t.Errorf("%s: exact level %d, bounded found %d", task.Name, exact.Level, bounded.Level)
+		}
+	}
+}
+
+func TestTwoProcRenamingSolvable(t *testing.T) {
+	res, err := DecideTwoProcess(tasks.Renaming(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solvable || res.Level != 0 {
+		t.Fatalf("renaming(2,3): solvable=%v level=%d, want solvable at 0", res.Solvable, res.Level)
+	}
+	if len(res.Corners) != 2 {
+		t.Fatalf("expected 2 corner decisions, got %d", len(res.Corners))
+	}
+}
+
+func TestTwoProcRejectsWrongArity(t *testing.T) {
+	if _, err := DecideTwoProcess(tasks.Consensus(3)); err == nil {
+		t.Fatal("3-process task must be rejected")
+	}
+}

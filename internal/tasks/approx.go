@@ -1,0 +1,120 @@
+package tasks
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"waitfree/internal/iis"
+)
+
+// ApproxResult reports the outcome of an approximate agreement run.
+type ApproxResult struct {
+	Outputs []float64 // decided value per process; NaN for crashed processes
+	Rounds  int       // iterated immediate snapshot rounds executed
+}
+
+// RoundsForEpsilon returns the number of IIS rounds sufficient for the
+// midpoint rule to contract an input spread down to eps: the spread halves
+// every round (nested immediate snapshot views have nested value intervals,
+// and every new value is a midpoint of such an interval).
+func RoundsForEpsilon(spread, eps float64) int {
+	if spread <= eps || eps <= 0 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(spread / eps)))
+}
+
+// RunApproxAgreement runs wait-free ε-approximate agreement for procs
+// processes over the iterated immediate snapshot model: every round each
+// process WriteReads its current estimate and replaces it by the midpoint of
+// the values in its view. crashAfter[i] ≥ 0 crashes process i after that
+// many rounds.
+//
+// Survivors' outputs lie within the interval spanned by the original inputs
+// and pairwise within eps of each other.
+func RunApproxAgreement(inputs []float64, eps float64, crashAfter []int) (*ApproxResult, error) {
+	procs := len(inputs)
+	if procs == 0 {
+		return nil, fmt.Errorf("tasks: no inputs")
+	}
+	lo, hi := inputs[0], inputs[0]
+	for _, x := range inputs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	rounds := RoundsForEpsilon(hi-lo, eps)
+
+	mem := iis.NewMemory[float64](procs)
+	res := &ApproxResult{Outputs: make([]float64, procs), Rounds: rounds}
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			limit := rounds
+			crashed := false
+			if crashAfter != nil && i < len(crashAfter) && crashAfter[i] >= 0 && crashAfter[i] < rounds {
+				limit = crashAfter[i]
+				crashed = true
+			}
+			x := inputs[i]
+			for r := 0; r < limit; r++ {
+				view, err := mem.WriteRead(i, r, x)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				mn, mx := math.Inf(1), math.Inf(-1)
+				for _, slot := range view {
+					if slot.Present {
+						mn = math.Min(mn, slot.Val)
+						mx = math.Max(mx, slot.Val)
+					}
+				}
+				x = (mn + mx) / 2
+			}
+			if crashed {
+				res.Outputs[i] = math.NaN()
+				return
+			}
+			res.Outputs[i] = x
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ValidateApprox checks the ε-agreement conditions on the surviving outputs:
+// pairwise within eps and inside [min(inputs), max(inputs)].
+func ValidateApprox(inputs []float64, res *ApproxResult, eps float64) error {
+	lo, hi := inputs[0], inputs[0]
+	for _, x := range inputs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	const slack = 1e-9
+	for i, x := range res.Outputs {
+		if math.IsNaN(x) {
+			continue
+		}
+		if x < lo-slack || x > hi+slack {
+			return fmt.Errorf("tasks: output %g of P%d outside input range [%g,%g]", x, i, lo, hi)
+		}
+		for j, y := range res.Outputs {
+			if j <= i || math.IsNaN(y) {
+				continue
+			}
+			if math.Abs(x-y) > eps+slack {
+				return fmt.Errorf("tasks: outputs of P%d and P%d differ by %g > ε=%g", i, j, math.Abs(x-y), eps)
+			}
+		}
+	}
+	return nil
+}

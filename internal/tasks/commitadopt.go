@@ -1,0 +1,143 @@
+package tasks
+
+import (
+	"fmt"
+	"sync"
+
+	"waitfree/internal/register"
+)
+
+// CADecision is a commit-adopt outcome: a value plus a grade.
+type CADecision struct {
+	Val       int
+	Committed bool
+	Decided   bool // false for crashed processes
+}
+
+// caProposal is the second-round proposal.
+type caProposal struct {
+	val     int
+	commit  bool // the proposer saw a unanimous first round
+	present bool
+}
+
+// RunCommitAdopt executes the wait-free commit-adopt protocol (the graded
+// agreement primitive underlying much of the post-BG iterated literature):
+//
+//	round 1: write input; snapshot; propose (v, commit=true) if every value
+//	         seen equals v, else (own, commit=false)
+//	round 2: write proposal; snapshot;
+//	         COMMIT v  if every proposal seen is (v, commit),
+//	         ADOPT v   if some proposal seen is (v, commit),
+//	         ADOPT own otherwise.
+//
+// Guarantees (validated by ValidateCommitAdopt):
+//
+//	CA-validity:    every decided value is some process's input;
+//	CA-unanimity:   if all inputs are equal, every decider COMMITs;
+//	CA-coherence:   if anyone COMMITs v, every decider's value is v.
+//
+// Commit-adopt is not consensus — deciders may adopt different values when
+// nobody commits — which is exactly why it is wait-free solvable.
+func RunCommitAdopt(inputs []int, crashAfter []int) ([]CADecision, error) {
+	procs := len(inputs)
+	if procs == 0 {
+		return nil, fmt.Errorf("tasks: no inputs")
+	}
+	round1 := register.NewSnapshot[int](procs)
+	round2 := register.NewSnapshot[caProposal](procs)
+	out := make([]CADecision, procs)
+
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			limit := -1
+			if crashAfter != nil && i < len(crashAfter) {
+				limit = crashAfter[i]
+			}
+			if limit == 0 {
+				return
+			}
+			// Round 1.
+			round1.Update(i, inputs[i])
+			view1 := round1.Scan()
+			prop := caProposal{val: inputs[i], commit: true, present: true}
+			for _, e := range view1 {
+				if e.Present && e.Val != inputs[i] {
+					prop.commit = false
+					break
+				}
+			}
+			if limit == 1 {
+				return
+			}
+			// Round 2.
+			round2.Update(i, prop)
+			view2 := round2.Scan()
+			allCommit, anyCommit := true, false
+			commitVal := 0
+			for _, e := range view2 {
+				if !e.Present {
+					continue
+				}
+				if e.Val.commit {
+					anyCommit = true
+					commitVal = e.Val.val
+				} else {
+					allCommit = false
+				}
+			}
+			switch {
+			case allCommit && anyCommit:
+				out[i] = CADecision{Val: commitVal, Committed: true, Decided: true}
+			case anyCommit:
+				out[i] = CADecision{Val: commitVal, Decided: true}
+			default:
+				out[i] = CADecision{Val: inputs[i], Decided: true}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// ValidateCommitAdopt checks the three commit-adopt guarantees.
+func ValidateCommitAdopt(inputs []int, out []CADecision) error {
+	valid := make(map[int]bool, len(inputs))
+	unanimous := true
+	for _, v := range inputs {
+		valid[v] = true
+		if v != inputs[0] {
+			unanimous = false
+		}
+	}
+	var committed *int
+	for i, d := range out {
+		if !d.Decided {
+			continue
+		}
+		if !valid[d.Val] {
+			return fmt.Errorf("tasks: P%d decided %d, not an input", i, d.Val)
+		}
+		if unanimous && !d.Committed {
+			return fmt.Errorf("tasks: unanimous inputs but P%d only adopted", i)
+		}
+		if d.Committed {
+			if committed != nil && *committed != d.Val {
+				return fmt.Errorf("tasks: conflicting commits %d and %d", *committed, d.Val)
+			}
+			v := d.Val
+			committed = &v
+		}
+	}
+	if committed != nil {
+		for i, d := range out {
+			if d.Decided && d.Val != *committed {
+				return fmt.Errorf("tasks: P%d holds %d but %d was committed", i, d.Val, *committed)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package tasks
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommitAdoptUnanimousCommits(t *testing.T) {
+	inputs := []int{7, 7, 7, 7}
+	for trial := 0; trial < 30; trial++ {
+		out, err := RunCommitAdopt(inputs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateCommitAdopt(inputs, out); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, d := range out {
+			if !d.Decided || !d.Committed || d.Val != 7 {
+				t.Fatalf("trial %d: P%d = %+v, want committed 7", trial, i, d)
+			}
+		}
+	}
+}
+
+func TestCommitAdoptConflictingInputs(t *testing.T) {
+	inputs := []int{1, 2, 1}
+	for trial := 0; trial < 50; trial++ {
+		out, err := RunCommitAdopt(inputs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateCommitAdopt(inputs, out); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestCommitAdoptSolo(t *testing.T) {
+	out, err := RunCommitAdopt([]int{42}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Committed || out[0].Val != 42 {
+		t.Fatalf("solo run must commit its input, got %+v", out[0])
+	}
+}
+
+func TestCommitAdoptWithCrashes(t *testing.T) {
+	inputs := []int{5, 9, 5}
+	for trial := 0; trial < 30; trial++ {
+		out, err := RunCommitAdopt(inputs, []int{1, -1, -1}) // P0 crashes after round 1
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateCommitAdopt(inputs, out); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if out[0].Decided {
+			t.Fatal("crashed process decided")
+		}
+		for _, i := range []int{1, 2} {
+			if !out[i].Decided {
+				t.Fatalf("survivor %d did not decide", i)
+			}
+		}
+	}
+}
+
+func TestCommitAdoptQuickRandomInputs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = rng.Intn(3)
+		}
+		out, err := RunCommitAdopt(inputs, nil)
+		if err != nil {
+			return false
+		}
+		return ValidateCommitAdopt(inputs, out) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommitAdoptEmptyInputs(t *testing.T) {
+	if _, err := RunCommitAdopt(nil, nil); err == nil {
+		t.Fatal("empty inputs must fail")
+	}
+}
+
+func TestValidateCommitAdoptDetectsViolations(t *testing.T) {
+	inputs := []int{1, 2}
+	// Conflicting commits.
+	bad := []CADecision{
+		{Val: 1, Committed: true, Decided: true},
+		{Val: 2, Committed: true, Decided: true},
+	}
+	if err := ValidateCommitAdopt(inputs, bad); err == nil {
+		t.Error("conflicting commits not detected")
+	}
+	// Commit + foreign adopt.
+	bad = []CADecision{
+		{Val: 1, Committed: true, Decided: true},
+		{Val: 2, Decided: true},
+	}
+	if err := ValidateCommitAdopt(inputs, bad); err == nil {
+		t.Error("coherence violation not detected")
+	}
+	// Non-input value.
+	bad = []CADecision{{Val: 9, Decided: true}, {Val: 1, Decided: true}}
+	if err := ValidateCommitAdopt(inputs, bad); err == nil {
+		t.Error("validity violation not detected")
+	}
+	// Unanimous inputs but adopt-only.
+	if err := ValidateCommitAdopt([]int{3, 3}, []CADecision{
+		{Val: 3, Decided: true}, {Val: 3, Committed: true, Decided: true},
+	}); err == nil {
+		t.Error("unanimity violation not detected")
+	}
+}

@@ -1,0 +1,23 @@
+package tasks
+
+import "testing"
+
+// FuzzDecodeRenameState hardens the rename-state codec used over abstract
+// (possibly emulated) memory.
+func FuzzDecodeRenameState(f *testing.F) {
+	f.Add("3:7")
+	f.Add("")
+	f.Add(":")
+	f.Add("a:b")
+	f.Add("1:2:3")
+	f.Fuzz(func(t *testing.T, s string) {
+		id, prop, err := decodeRenameState(s)
+		if err != nil {
+			return
+		}
+		id2, prop2, err := decodeRenameState(encodeRenameState(id, prop))
+		if err != nil || id2 != id || prop2 != prop {
+			t.Fatalf("round trip (%d,%d) → (%d,%d,%v)", id, prop, id2, prop2, err)
+		}
+	})
+}

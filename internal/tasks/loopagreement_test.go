@@ -1,0 +1,84 @@
+package tasks
+
+import (
+	"testing"
+
+	"waitfree/internal/topology"
+)
+
+func solidTriangle() (*topology.Complex, [3]topology.Vertex) {
+	c := topology.NewComplex()
+	a := c.MustAddVertex("a", topology.Uncolored)
+	b := c.MustAddVertex("b", topology.Uncolored)
+	d := c.MustAddVertex("d", topology.Uncolored)
+	c.MustAddSimplex(a, b, d)
+	return c.Seal(), [3]topology.Vertex{a, b, d}
+}
+
+func hollowTriangle() (*topology.Complex, [3]topology.Vertex) {
+	c := topology.NewComplex()
+	a := c.MustAddVertex("a", topology.Uncolored)
+	b := c.MustAddVertex("b", topology.Uncolored)
+	d := c.MustAddVertex("d", topology.Uncolored)
+	c.MustAddSimplex(a, b)
+	c.MustAddSimplex(b, d)
+	c.MustAddSimplex(a, d)
+	return c.Seal(), [3]topology.Vertex{a, b, d}
+}
+
+func TestLoopAgreementConstruction(t *testing.T) {
+	k, corners := solidTriangle()
+	task, err := LoopAgreement(k, corners,
+		[3][]topology.Vertex{{corners[0], corners[1]}, {corners[1], corners[2]}, {corners[0], corners[2]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !task.Outputs.IsChromatic() {
+		t.Fatal("output complex must be chromatic")
+	}
+	// Output vertices: 3 processes × 3 K-vertices.
+	if got := task.Outputs.NumVertices(); got != 9 {
+		t.Fatalf("output vertices = %d, want 9", got)
+	}
+}
+
+func TestLoopAgreementDelta(t *testing.T) {
+	k, corners := solidTriangle()
+	task, err := LoopAgreement(k, corners,
+		[3][]topology.Vertex{{corners[0], corners[1]}, {corners[1], corners[2]}, {corners[0], corners[2]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in0, _ := task.Inputs.VertexByKey("in(P0=0)")
+	in1, _ := task.Inputs.VertexByKey("in(P1=1)")
+	outA, _ := task.Outputs.VertexByKey("out(P0=a)")
+	outD, _ := task.Outputs.VertexByKey("out(P0=d)")
+	// Solo P0 must decide its corner a.
+	if !task.Allowed([]topology.Vertex{in0}, []topology.Vertex{outA}) {
+		t.Error("solo corner decision must be allowed")
+	}
+	if task.Allowed([]topology.Vertex{in0}, []topology.Vertex{outD}) {
+		t.Error("solo non-corner decision must be rejected")
+	}
+	// Pair {0,1} must stay on path a–b: vertex d is off-path.
+	if task.Allowed([]topology.Vertex{in0, in1}, []topology.Vertex{outD}) {
+		t.Error("off-path pair decision must be rejected")
+	}
+	if !task.Allowed([]topology.Vertex{in0, in1}, []topology.Vertex{outA}) {
+		t.Error("on-path pair decision must be allowed")
+	}
+}
+
+func TestLoopAgreementRejectsBadPaths(t *testing.T) {
+	k, corners := solidTriangle()
+	// Path that does not start at its corner.
+	if _, err := LoopAgreement(k, corners,
+		[3][]topology.Vertex{{corners[1], corners[0]}, {corners[1], corners[2]}, {corners[0], corners[2]}}); err == nil {
+		t.Error("misconnected path must be rejected")
+	}
+	// Path that stops short of the far corner.
+	if _, err := LoopAgreement(k, corners,
+		[3][]topology.Vertex{{corners[0]}, {corners[1], corners[2]}, {corners[0], corners[2]}}); err == nil {
+		t.Error("path not reaching the far corner must be rejected")
+	}
+}

@@ -1,0 +1,135 @@
+package tasks
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"waitfree/internal/register"
+)
+
+// renameState is what a process publishes while renaming: its original id
+// and its current name proposal (0 = no proposal yet).
+type renameState struct {
+	id       int
+	proposal int
+}
+
+// RenamingResult reports the outcome of a renaming run.
+type RenamingResult struct {
+	Names []int // decided name per process; 0 for processes that crashed
+	Steps []int // snapshot iterations used per process
+}
+
+// RunRenaming executes the classic wait-free snapshot-based renaming
+// algorithm (Attiya–Bar-Noy–Dolev–Peleg–Reischuk style, the task discussed
+// in the paper's §1): each process repeatedly publishes a name proposal and
+// scans; if its proposal is not contested it decides, otherwise it proposes
+// the r-th name not proposed by others, where r is the rank of its id among
+// the participants it sees.
+//
+// With p participants all decided names are distinct and lie in
+// {1, …, 2p−1}. participate[i] = false models a process that crashed before
+// taking any step; crashAfter[i] ≥ 0 crashes process i after that many scan
+// iterations.
+func RunRenaming(procs int, participate []bool, crashAfter []int) (*RenamingResult, error) {
+	snap := register.NewSnapshot[renameState](procs)
+	res := &RenamingResult{Names: make([]int, procs), Steps: make([]int, procs)}
+	errs := make([]error, procs)
+
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		if participate != nil && i < len(participate) && !participate[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			limit := -1
+			if crashAfter != nil && i < len(crashAfter) {
+				limit = crashAfter[i]
+			}
+			proposal := 0
+			for step := 1; ; step++ {
+				if limit >= 0 && step > limit {
+					return // fail-stop
+				}
+				res.Steps[i] = step
+				if proposal == 0 {
+					// First round: publish presence, then pick by rank.
+					snap.Update(i, renameState{id: i})
+				} else {
+					snap.Update(i, renameState{id: i, proposal: proposal})
+				}
+				view := snap.Scan()
+
+				contested := false
+				others := make(map[int]struct{})
+				var ids []int
+				for j, e := range view {
+					if !e.Present {
+						continue
+					}
+					ids = append(ids, e.Val.id)
+					if j == i {
+						continue
+					}
+					if e.Val.proposal != 0 {
+						others[e.Val.proposal] = struct{}{}
+						if e.Val.proposal == proposal {
+							contested = true
+						}
+					}
+				}
+				if proposal != 0 && !contested {
+					res.Names[i] = proposal
+					return
+				}
+				// Rank of own id among participants seen (1-based).
+				sort.Ints(ids)
+				rank := 1
+				for _, id := range ids {
+					if id < i {
+						rank++
+					}
+				}
+				// r-th positive name not proposed by others.
+				name := 0
+				for count := 0; count < rank; {
+					name++
+					if _, taken := others[name]; !taken {
+						count++
+					}
+				}
+				proposal = name
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ValidateRenaming checks distinctness and the (2p−1) name-space bound for
+// the processes that decided, where p is the number of participants
+// (deciders and crashed participants alike).
+func ValidateRenaming(res *RenamingResult, participants int) error {
+	seen := make(map[int]int)
+	for i, name := range res.Names {
+		if name == 0 {
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			return fmt.Errorf("tasks: processes %d and %d both named %d", prev, i, name)
+		}
+		seen[name] = i
+		if bound := 2*participants - 1; name < 1 || name > bound {
+			return fmt.Errorf("tasks: process %d got name %d outside [1,%d]", i, name, bound)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package tasks
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"waitfree/internal/core"
+)
+
+// RunRenamingOver runs the same wait-free renaming algorithm as RunRenaming
+// but against an abstract ShotMemory — natively, or through the paper's
+// Figure 2 emulation. Renaming was one of the two motivating tasks of the
+// paper's §1; running it over core.NewEmulatedMemory demonstrates the
+// emulation end to end on a protocol with unbounded (input-dependent) shot
+// counts: the process keeps writing proposals (with increasing sequence
+// numbers) and snapshotting until its proposal is uncontested.
+//
+// participate and crashAfter behave as in RunRenaming.
+func RunRenamingOver(mem core.ShotMemory, procs int, participate []bool, crashAfter []int) (*RenamingResult, error) {
+	res := &RenamingResult{Names: make([]int, procs), Steps: make([]int, procs)}
+	errs := make([]error, procs)
+
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		if participate != nil && i < len(participate) && !participate[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			limit := -1
+			if crashAfter != nil && i < len(crashAfter) {
+				limit = crashAfter[i]
+			}
+			proposal := 0
+			for step := 1; ; step++ {
+				if limit >= 0 && step > limit {
+					return // fail-stop
+				}
+				res.Steps[i] = step
+				if err := mem.Write(i, step, encodeRenameState(i, proposal)); err != nil {
+					errs[i] = err
+					return
+				}
+				vals, seqs, err := mem.SnapshotRead(i, step)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+
+				contested := false
+				others := make(map[int]struct{})
+				var ids []int
+				for j := range vals {
+					if seqs[j] == 0 {
+						continue
+					}
+					id, prop, err := decodeRenameState(vals[j])
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					ids = append(ids, id)
+					if j == i {
+						continue
+					}
+					if prop != 0 {
+						others[prop] = struct{}{}
+						if prop == proposal {
+							contested = true
+						}
+					}
+				}
+				if proposal != 0 && !contested {
+					res.Names[i] = proposal
+					return
+				}
+				sort.Ints(ids)
+				rank := 1
+				for _, id := range ids {
+					if id < i {
+						rank++
+					}
+				}
+				name := 0
+				for count := 0; count < rank; {
+					name++
+					if _, taken := others[name]; !taken {
+						count++
+					}
+				}
+				proposal = name
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func encodeRenameState(id, proposal int) string {
+	return strconv.Itoa(id) + ":" + strconv.Itoa(proposal)
+}
+
+func decodeRenameState(s string) (id, proposal int, err error) {
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return 0, 0, fmt.Errorf("tasks: bad rename state %q", s)
+	}
+	id, err = strconv.Atoi(s[:colon])
+	if err != nil {
+		return 0, 0, fmt.Errorf("tasks: bad rename id in %q: %w", s, err)
+	}
+	proposal, err = strconv.Atoi(s[colon+1:])
+	if err != nil {
+		return 0, 0, fmt.Errorf("tasks: bad rename proposal in %q: %w", s, err)
+	}
+	return id, proposal, nil
+}

@@ -1,0 +1,101 @@
+package tasks
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"waitfree/internal/register"
+)
+
+// SetConsensusResult reports the outcome of an f-resilient set consensus
+// run.
+type SetConsensusResult struct {
+	Decisions []int // decided value per process; -1 for crashed processes
+	Scans     []int // scans performed per process (the waiting cost)
+}
+
+// RunFResilientSetConsensus runs the classic f-resilient k-set consensus
+// protocol for f < k: every process writes its input, waits (scanning) until
+// it has seen at least procs−f inputs, and decides the minimum value seen.
+//
+// At most f+1 ≤ k distinct values are decided (the m-th smallest input can
+// be a minimum only if the m−1 smaller ones are unseen, which requires
+// m−1 ≤ f). The protocol is f-resilient but NOT wait-free — processes block
+// until procs−f inputs appear — which is exactly the gap the paper's
+// characterization (and the impossibility of wait-free k-set consensus for
+// k < procs) explains. crashed[i] marks processes that never start; at most
+// f may be crashed or the survivors would wait forever.
+func RunFResilientSetConsensus(inputs []int, f int, crashed []bool) (*SetConsensusResult, error) {
+	procs := len(inputs)
+	nCrashed := 0
+	for _, c := range crashed {
+		if c {
+			nCrashed++
+		}
+	}
+	if nCrashed > f {
+		return nil, fmt.Errorf("tasks: %d crashes exceed resilience f=%d (the run would block)", nCrashed, f)
+	}
+
+	snap := register.NewSnapshot[int](procs)
+	res := &SetConsensusResult{Decisions: make([]int, procs), Scans: make([]int, procs)}
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		res.Decisions[i] = -1
+		if crashed != nil && i < len(crashed) && crashed[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snap.Update(i, inputs[i])
+			for {
+				res.Scans[i]++
+				view := snap.Scan()
+				seen := 0
+				min := -1
+				for _, e := range view {
+					if !e.Present {
+						continue
+					}
+					seen++
+					if min < 0 || e.Val < min {
+						min = e.Val
+					}
+				}
+				if seen >= procs-f {
+					res.Decisions[i] = min
+					return
+				}
+				runtime.Gosched()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return res, nil
+}
+
+// ValidateSetConsensus checks k-agreement and validity on the decided
+// values: at most k distinct decisions, every decision is some process's
+// input.
+func ValidateSetConsensus(inputs []int, res *SetConsensusResult, k int) error {
+	valid := make(map[int]struct{}, len(inputs))
+	for _, v := range inputs {
+		valid[v] = struct{}{}
+	}
+	distinct := make(map[int]struct{})
+	for i, d := range res.Decisions {
+		if d < 0 {
+			continue
+		}
+		if _, ok := valid[d]; !ok {
+			return fmt.Errorf("tasks: P%d decided %d, not an input", i, d)
+		}
+		distinct[d] = struct{}{}
+	}
+	if len(distinct) > k {
+		return fmt.Errorf("tasks: %d distinct decisions exceed k=%d", len(distinct), k)
+	}
+	return nil
+}

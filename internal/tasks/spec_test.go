@@ -1,0 +1,161 @@
+package tasks
+
+import (
+	"testing"
+
+	"waitfree/internal/topology"
+)
+
+func TestConsensusComplexShapes(t *testing.T) {
+	task := Consensus(2)
+	if !task.Inputs.IsChromatic() || !task.Outputs.IsChromatic() {
+		t.Fatal("consensus complexes must be chromatic")
+	}
+	// Inputs: 4 vertices (2 per process), 4 facets (all assignments).
+	if got := task.Inputs.NumVertices(); got != 4 {
+		t.Errorf("input vertices = %d, want 4", got)
+	}
+	if got := len(task.Inputs.Facets()); got != 4 {
+		t.Errorf("input facets = %d, want 4", got)
+	}
+	// Outputs: two disjoint unanimity edges.
+	if got := len(task.Outputs.Facets()); got != 2 {
+		t.Errorf("output facets = %d, want 2", got)
+	}
+}
+
+func TestConsensusAllowed(t *testing.T) {
+	task := Consensus(2)
+	in0, _ := task.Inputs.VertexByKey("in(P0=0)")
+	in1, _ := task.Inputs.VertexByKey("in(P1=1)")
+	out00, _ := task.Outputs.VertexByKey("out(P0=0)")
+	out01, _ := task.Outputs.VertexByKey("out(P0=1)")
+
+	if !task.Allowed([]topology.Vertex{in0, in1}, []topology.Vertex{out00}) {
+		t.Error("deciding 0 with inputs {0,1} should be allowed")
+	}
+	if !task.Allowed([]topology.Vertex{in0, in1}, []topology.Vertex{out01}) {
+		t.Error("deciding 1 with inputs {0,1} should be allowed")
+	}
+	if task.Allowed([]topology.Vertex{in0}, []topology.Vertex{out01}) {
+		t.Error("deciding 1 when only input 0 present must be invalid")
+	}
+}
+
+func TestSetConsensusComplexShapes(t *testing.T) {
+	task := SetConsensus(3, 2)
+	if got := len(task.Inputs.Facets()); got != 1 {
+		t.Errorf("input facets = %d, want 1", got)
+	}
+	// Outputs: 27 assignments minus the 6 with 3 distinct values = 21.
+	if got := len(task.Outputs.Facets()); got != 21 {
+		t.Errorf("output facets = %d, want 21", got)
+	}
+	if !task.Outputs.IsChromatic() {
+		t.Error("output complex must be chromatic")
+	}
+}
+
+func TestSetConsensusAllowedValidity(t *testing.T) {
+	task := SetConsensus(3, 2)
+	in0, _ := task.Inputs.VertexByKey("in(P0=0)")
+	in1, _ := task.Inputs.VertexByKey("in(P1=1)")
+	out02, _ := task.Outputs.VertexByKey("out(P0=2)")
+	out01, _ := task.Outputs.VertexByKey("out(P0=1)")
+	// With participants {0,1}, deciding id 2 is invalid.
+	if task.Allowed([]topology.Vertex{in0, in1}, []topology.Vertex{out02}) {
+		t.Error("deciding a non-participant id must be invalid")
+	}
+	if !task.Allowed([]topology.Vertex{in0, in1}, []topology.Vertex{out01}) {
+		t.Error("deciding a participant id must be allowed")
+	}
+}
+
+func TestApproxAgreementShapes(t *testing.T) {
+	task := ApproxAgreement(4)
+	// Output facets: pairs (x, y) with |x−y| ≤ 1 over 0..4: 5 + 2·4 = 13.
+	if got := len(task.Outputs.Facets()); got != 13 {
+		t.Errorf("output facets = %d, want 13", got)
+	}
+	in00, _ := task.Inputs.VertexByKey("in(P0=0)")
+	out02, _ := task.Outputs.VertexByKey("out(P0=2)")
+	out00, _ := task.Outputs.VertexByKey("out(P0=0)")
+	// Solo with input 0 must output 0.
+	if task.Allowed([]topology.Vertex{in00}, []topology.Vertex{out02}) {
+		t.Error("solo input 0 deciding 2 must be invalid")
+	}
+	if !task.Allowed([]topology.Vertex{in00}, []topology.Vertex{out00}) {
+		t.Error("solo input 0 deciding 0 must be allowed")
+	}
+}
+
+func TestApproxAgreementNShapes(t *testing.T) {
+	task := ApproxAgreementN(3, 2)
+	if !task.Inputs.IsChromatic() || !task.Outputs.IsChromatic() {
+		t.Fatal("complexes must be chromatic")
+	}
+	// Inputs: all 2³ assignments of {0,2}.
+	if got := len(task.Inputs.Facets()); got != 8 {
+		t.Errorf("input facets = %d, want 8", got)
+	}
+	// Outputs: triples over {0,1,2} with range ≤ 1: 3 constant + pairs
+	// within the two unit windows: 3·(2³−2)... count directly: windows
+	// {0,1} and {1,2} give 8 each, overlapping on constant-1: 8+8−1 = 15.
+	if got := len(task.Outputs.Facets()); got != 15 {
+		t.Errorf("output facets = %d, want 15", got)
+	}
+	in0, _ := task.Inputs.VertexByKey("in(P0=0)")
+	out2, _ := task.Outputs.VertexByKey("out(P1=2)")
+	if task.Allowed([]topology.Vertex{in0}, []topology.Vertex{out2}) {
+		t.Error("solo 0 participant cannot justify output 2")
+	}
+}
+
+func TestApproxAgreementNMatchesTwoProcVariant(t *testing.T) {
+	a := ApproxAgreementN(2, 3)
+	b := ApproxAgreement(3)
+	if len(a.Inputs.Facets()) != len(b.Inputs.Facets()) ||
+		len(a.Outputs.Facets()) != len(b.Outputs.Facets()) {
+		t.Error("2-process ApproxAgreementN must match ApproxAgreement shapes")
+	}
+}
+
+func TestRenamingShapes(t *testing.T) {
+	task := Renaming(2, 3)
+	// Output facets: ordered pairs of distinct names from 3: 3·2 = 6.
+	if got := len(task.Outputs.Facets()); got != 6 {
+		t.Errorf("output facets = %d, want 6", got)
+	}
+}
+
+func TestIdentityTaskAllowed(t *testing.T) {
+	task := IdentityTask(3)
+	in0, _ := task.Inputs.VertexByKey("in(P0=0)")
+	out0, _ := task.Outputs.VertexByKey("out(P0=0)")
+	out1, _ := task.Outputs.VertexByKey("out(P1=1)")
+	if !task.Allowed([]topology.Vertex{in0}, []topology.Vertex{out0, out1}) {
+		t.Error("identity outputs should be allowed")
+	}
+}
+
+func TestAllowedMonotonicity(t *testing.T) {
+	// Property required by the solver: if an output simplex is allowed, all
+	// of its faces are.
+	for _, task := range []*Task{Consensus(2), SetConsensus(3, 2), ApproxAgreement(3)} {
+		inFacet := task.Inputs.Facets()[0]
+		for _, outFacet := range task.Outputs.Facets() {
+			if !task.Allowed(inFacet, outFacet) {
+				continue
+			}
+			for i := range outFacet {
+				face := append(append([]topology.Vertex(nil), outFacet[:i]...), outFacet[i+1:]...)
+				if len(face) == 0 {
+					continue
+				}
+				if !task.Allowed(inFacet, face) {
+					t.Errorf("%s: allowed facet has forbidden face", task.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package topology
+
+import (
+	"sort"
+	"strings"
+)
+
+// Bsd returns the first barycentric subdivision of the sealed complex c.
+//
+// The vertices of Bsd(c) are the barycenters of the simplices of c; the
+// facets are the maximal chains σ1 ⊂ σ2 ⊂ … ⊂ σ(d+1) of faces of a facet
+// (equivalently, permutations of each facet). Bsd(c) is not chromatic — its
+// vertices are Uncolored — but it is a subdivision: each barycenter carries
+// the carrier of its simplex, composed through to the original base.
+func Bsd(c *Complex) *Complex {
+	c.mustBeSealed("Bsd")
+	out := NewComplex()
+	base := c.base
+	if base == nil {
+		base = c
+	}
+	out.base = base
+
+	addBarycenter := func(face []Vertex) Vertex {
+		v := out.MustAddVertex(bsdVertexKey(c, face), Uncolored)
+		out.SetCarrier(v, c.CarrierOfSimplex(face))
+		return v
+	}
+
+	for _, f := range c.Facets() {
+		perm := make([]int, len(f))
+		for i := range perm {
+			perm[i] = i
+		}
+		forEachPermutation(perm, func(p []int) {
+			chain := make([]Vertex, 0, len(f))
+			prefix := make([]Vertex, 0, len(f))
+			for _, idx := range p {
+				prefix = append(prefix, f[idx])
+				chain = append(chain, addBarycenter(sortedCopy(prefix)))
+			}
+			out.MustAddSimplex(chain...)
+		})
+	}
+	return out.Seal()
+}
+
+// BsdPow returns Bsd^k(c); BsdPow(c, 0) is c itself.
+func BsdPow(c *Complex, k int) *Complex {
+	for i := 0; i < k; i++ {
+		c = Bsd(c)
+	}
+	return c
+}
+
+// bsdVertexKey canonically names the barycenter of a face by the keys of its
+// vertices in c.
+func bsdVertexKey(c *Complex, face []Vertex) string {
+	keys := make([]string, len(face))
+	for i, v := range face {
+		keys[i] = c.Key(v)
+	}
+	sort.Strings(keys)
+	return "B{" + strings.Join(keys, " ") + "}"
+}
+
+// forEachPermutation calls fn with every permutation of p (Heap's
+// algorithm). The slice is reused; fn must not retain it.
+func forEachPermutation(p []int, fn func([]int)) {
+	n := len(p)
+	ctr := make([]int, n)
+	fn(p)
+	for i := 0; i < n; {
+		if ctr[i] < i {
+			if i%2 == 0 {
+				p[0], p[i] = p[i], p[0]
+			} else {
+				p[ctr[i]], p[i] = p[i], p[ctr[i]]
+			}
+			fn(p)
+			ctr[i]++
+			i = 0
+		} else {
+			ctr[i] = 0
+			i++
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package topology
+
+import "testing"
+
+func TestBsdOfTriangle(t *testing.T) {
+	s := Simplex(2)
+	bsd := Bsd(s)
+	// Vertices = simplices of s²: 3 + 3 + 1 = 7.
+	if got := bsd.NumVertices(); got != 7 {
+		t.Fatalf("Bsd(s²) has %d vertices, want 7", got)
+	}
+	// Facets = permutations of the facet: 3! = 6.
+	if got := len(bsd.Facets()); got != 6 {
+		t.Fatalf("Bsd(s²) has %d facets, want 6", got)
+	}
+	if !bsd.IsPure() || bsd.Dimension() != 2 {
+		t.Fatal("Bsd(s²) not a pure 2-complex")
+	}
+	if chi := bsd.EulerCharacteristic(); chi != 1 {
+		t.Errorf("χ(Bsd(s²)) = %d, want 1", chi)
+	}
+}
+
+func TestBsdFacetCountFormula(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		bsd := Bsd(Simplex(n))
+		want := factorial(n + 1)
+		if got := len(bsd.Facets()); got != want {
+			t.Errorf("Bsd(s^%d): %d facets, want %d", n, got, want)
+		}
+		// Vertices = number of non-empty faces = 2^(n+1) − 1.
+		if got := bsd.NumVertices(); got != (1<<(n+1))-1 {
+			t.Errorf("Bsd(s^%d): %d vertices, want %d", n, got, (1<<(n+1))-1)
+		}
+	}
+}
+
+func TestBsdCarriers(t *testing.T) {
+	s := Simplex(2)
+	bsd := Bsd(s)
+	if bsd.Base() != s {
+		t.Fatal("Bsd base is not the original complex")
+	}
+	for v := 0; v < bsd.NumVertices(); v++ {
+		car := bsd.Carrier(Vertex(v))
+		if !s.HasSimplex(car) {
+			t.Fatalf("barycenter %q carrier %v not a face of the base", bsd.Key(Vertex(v)), car)
+		}
+		if bsd.Color(Vertex(v)) != Uncolored {
+			t.Fatalf("Bsd vertex %d should be uncolored", v)
+		}
+	}
+	// Exactly one vertex (the central barycenter) has the full carrier.
+	full := 0
+	for v := 0; v < bsd.NumVertices(); v++ {
+		if len(bsd.Carrier(Vertex(v))) == 3 {
+			full++
+		}
+	}
+	if full != 1 {
+		t.Errorf("%d vertices with full carrier, want 1", full)
+	}
+}
+
+func TestBsdPowGrowth(t *testing.T) {
+	// Each barycentric subdivision multiplies facet count by (d+1)! for pure
+	// d-complexes: Bsd²(s²) has 6·6 = 36 facets.
+	c := BsdPow(Simplex(2), 2)
+	if got := len(c.Facets()); got != 36 {
+		t.Fatalf("Bsd²(s²) has %d facets, want 36", got)
+	}
+	if c.Base() != nil && c.Base().NumVertices() != 3 {
+		t.Fatal("Bsd² base should be the original triangle")
+	}
+}
+
+func TestBsdGluesSharedFaces(t *testing.T) {
+	c := NewComplex()
+	a := c.MustAddVertex("a", 0)
+	b := c.MustAddVertex("b", 1)
+	d := c.MustAddVertex("d", 2)
+	e := c.MustAddVertex("e", 0)
+	c.MustAddSimplex(a, b, d)
+	c.MustAddSimplex(b, d, e)
+	c.Seal()
+	bsd := Bsd(c)
+	// Vertices: 7 per triangle minus 3 shared (b, d, barycenter of bd) = 11.
+	if got := bsd.NumVertices(); got != 11 {
+		t.Fatalf("Bsd of glued triangles has %d vertices, want 11", got)
+	}
+	if got := len(bsd.Facets()); got != 12 {
+		t.Fatalf("Bsd of glued triangles has %d facets, want 12", got)
+	}
+}
+
+func factorial(n int) int {
+	r := 1
+	for i := 2; i <= n; i++ {
+		r *= i
+	}
+	return r
+}

@@ -1,0 +1,565 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Vertex is an index into a Complex's vertex table. Vertices are meaningful
+// only relative to the complex that owns them.
+type Vertex int
+
+// Uncolored is the Color of vertices in non-chromatic complexes such as
+// barycentric subdivisions.
+const Uncolored = -1
+
+// vertexAttr holds the per-vertex data of a complex.
+type vertexAttr struct {
+	key     string   // canonical identity, unique within the complex
+	color   int      // chromatic color (process id), or Uncolored
+	carrier []Vertex // carrier face in the base complex; nil when base == nil
+}
+
+// Complex is an abstract simplicial complex: a vertex table plus a set of
+// maximal simplices (facets). The simplices of the complex are all non-empty
+// subsets of facets. A Complex may additionally be a subdivision of a base
+// complex, in which case every vertex carries its carrier face in the base.
+type Complex struct {
+	verts  []vertexAttr
+	byKey  map[string]Vertex
+	facets [][]Vertex // each sorted ascending; mutually non-contained
+	base   *Complex   // non-nil iff this complex is a subdivision
+
+	// incidence[v] lists indices into facets containing v; built by seal.
+	incidence [][]int
+	sealed    bool
+}
+
+// NewComplex returns an empty complex under construction. Add vertices and
+// simplices, then call Seal before using query methods.
+func NewComplex() *Complex {
+	return &Complex{byKey: make(map[string]Vertex)}
+}
+
+// NewSubdivision returns an empty complex under construction that is
+// declared to be a subdivision of base: every vertex must be given a carrier
+// face of base via SetCarrier before Seal. Used to hand-build non-standard
+// chromatic subdivisions (the paper's "any chromatic subdivision A(sⁿ)" in
+// Theorem 5.1).
+func NewSubdivision(base *Complex) *Complex {
+	c := NewComplex()
+	c.base = base
+	return c
+}
+
+// AddVertex registers a vertex with the given canonical key and color,
+// returning its index. Re-adding an existing key returns the existing vertex
+// and requires the color to match.
+func (c *Complex) AddVertex(key string, color int) (Vertex, error) {
+	if c.sealed {
+		return 0, fmt.Errorf("topology: AddVertex on sealed complex")
+	}
+	if v, ok := c.byKey[key]; ok {
+		if c.verts[v].color != color {
+			return 0, fmt.Errorf("topology: vertex %q re-added with color %d (was %d)", key, color, c.verts[v].color)
+		}
+		return v, nil
+	}
+	v := Vertex(len(c.verts))
+	c.verts = append(c.verts, vertexAttr{key: key, color: color})
+	c.byKey[key] = v
+	return v, nil
+}
+
+// MustAddVertex is AddVertex for construction code with statically valid
+// inputs; it panics on error.
+func (c *Complex) MustAddVertex(key string, color int) Vertex {
+	v, err := c.AddVertex(key, color)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// SetCarrier records the carrier face (vertices of the base complex) of v.
+// The slice is copied and sorted.
+func (c *Complex) SetCarrier(v Vertex, carrier []Vertex) {
+	cp := append([]Vertex(nil), carrier...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	c.verts[v].carrier = cp
+}
+
+// AddSimplex registers a candidate maximal simplex. Duplicate vertices are an
+// error; faces of previously added simplices are absorbed at Seal time.
+func (c *Complex) AddSimplex(vs ...Vertex) error {
+	if c.sealed {
+		return fmt.Errorf("topology: AddSimplex on sealed complex")
+	}
+	s := append([]Vertex(nil), vs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	for i, v := range s {
+		if int(v) < 0 || int(v) >= len(c.verts) {
+			return fmt.Errorf("topology: simplex references unknown vertex %d", v)
+		}
+		if i > 0 && s[i-1] == v {
+			return fmt.Errorf("topology: simplex has duplicate vertex %d", v)
+		}
+	}
+	c.facets = append(c.facets, s)
+	return nil
+}
+
+// MustAddSimplex is AddSimplex for construction code with statically valid
+// inputs; it panics on error.
+func (c *Complex) MustAddSimplex(vs ...Vertex) {
+	if err := c.AddSimplex(vs...); err != nil {
+		panic(err)
+	}
+}
+
+// Seal finalizes the complex: it deduplicates facets, removes facets that are
+// faces of other facets, and builds incidence indexes. Query methods may only
+// be used after Seal.
+func (c *Complex) Seal() *Complex {
+	if c.sealed {
+		return c
+	}
+	// Deduplicate.
+	seen := make(map[string]struct{}, len(c.facets))
+	uniq := c.facets[:0]
+	for _, f := range c.facets {
+		k := simplexKey(f)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		uniq = append(uniq, f)
+	}
+	// Drop facets contained in a larger facet. Sort by descending size so a
+	// containment check against retained facets suffices.
+	sort.Slice(uniq, func(i, j int) bool {
+		if len(uniq[i]) != len(uniq[j]) {
+			return len(uniq[i]) > len(uniq[j])
+		}
+		return simplexKey(uniq[i]) < simplexKey(uniq[j])
+	})
+	inc := make([][]int, len(c.verts))
+	var kept [][]Vertex
+	for _, f := range uniq {
+		if len(kept) > 0 && containedInAny(f, inc, kept) {
+			continue
+		}
+		idx := len(kept)
+		kept = append(kept, f)
+		for _, v := range f {
+			inc[v] = append(inc[v], idx)
+		}
+	}
+	c.facets = kept
+	c.incidence = inc
+	c.sealed = true
+	return c
+}
+
+// containedInAny reports whether sorted simplex f is a subset of one of the
+// facets, using the incidence lists built so far.
+func containedInAny(f []Vertex, inc [][]int, facets [][]Vertex) bool {
+	if len(f) == 0 {
+		return true
+	}
+	for _, fi := range inc[f[0]] {
+		if isSubset(f, facets[fi]) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSubset reports a ⊆ b for sorted slices.
+func isSubset(a, b []Vertex) bool {
+	i := 0
+	for _, x := range b {
+		if i == len(a) {
+			return true
+		}
+		if a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// NumVertices returns the number of vertices.
+func (c *Complex) NumVertices() int { return len(c.verts) }
+
+// Key returns the canonical key of v.
+func (c *Complex) Key(v Vertex) string { return c.verts[v].key }
+
+// Color returns the color of v (Uncolored for non-chromatic complexes).
+func (c *Complex) Color(v Vertex) int { return c.verts[v].color }
+
+// VertexByKey returns the vertex with the given key.
+func (c *Complex) VertexByKey(key string) (Vertex, bool) {
+	v, ok := c.byKey[key]
+	return v, ok
+}
+
+// Base returns the base complex when this complex is a subdivision, else nil.
+func (c *Complex) Base() *Complex { return c.base }
+
+// Carrier returns the carrier face of v in the base complex. For a complex
+// that is not a subdivision it returns {v} (every complex trivially carries
+// itself).
+func (c *Complex) Carrier(v Vertex) []Vertex {
+	if c.base == nil {
+		return []Vertex{v}
+	}
+	return c.verts[v].carrier
+}
+
+// CarrierOfSimplex returns the carrier of a simplex: the union of the
+// carriers of its vertices, which for a subdivision is the smallest base face
+// containing the simplex.
+func (c *Complex) CarrierOfSimplex(s []Vertex) []Vertex {
+	set := make(map[Vertex]struct{})
+	for _, v := range s {
+		for _, b := range c.Carrier(v) {
+			set[b] = struct{}{}
+		}
+	}
+	out := make([]Vertex, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Facets returns the maximal simplices. The returned slices are shared; do
+// not modify.
+func (c *Complex) Facets() [][]Vertex {
+	c.mustBeSealed("Facets")
+	return c.facets
+}
+
+// Dimension returns the dimension of the complex (max facet size − 1), or −1
+// for the empty complex.
+func (c *Complex) Dimension() int {
+	c.mustBeSealed("Dimension")
+	d := -1
+	for _, f := range c.facets {
+		if len(f)-1 > d {
+			d = len(f) - 1
+		}
+	}
+	return d
+}
+
+// IsPure reports whether every facet has the full dimension of the complex.
+func (c *Complex) IsPure() bool {
+	c.mustBeSealed("IsPure")
+	d := c.Dimension()
+	for _, f := range c.facets {
+		if len(f)-1 != d {
+			return false
+		}
+	}
+	return true
+}
+
+// IsChromatic reports whether every vertex is colored and no facet repeats a
+// color (i.e. the coloring is a dimension-preserving map to a simplex).
+func (c *Complex) IsChromatic() bool {
+	c.mustBeSealed("IsChromatic")
+	for _, a := range c.verts {
+		if a.color == Uncolored {
+			return false
+		}
+	}
+	for _, f := range c.facets {
+		seen := make(map[int]struct{}, len(f))
+		for _, v := range f {
+			col := c.verts[v].color
+			if _, dup := seen[col]; dup {
+				return false
+			}
+			seen[col] = struct{}{}
+		}
+	}
+	return true
+}
+
+// HasSimplex reports whether the given vertex set is a simplex of the
+// complex (a subset of some facet). The input need not be sorted.
+func (c *Complex) HasSimplex(vs []Vertex) bool {
+	c.mustBeSealed("HasSimplex")
+	if len(vs) == 0 {
+		return false
+	}
+	s := append([]Vertex(nil), vs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			return false
+		}
+	}
+	return containedInAny(s, c.incidence, c.facets)
+}
+
+// AllSimplices returns every simplex of the complex grouped by dimension:
+// result[d] lists the d-dimensional simplices, each sorted, in a
+// deterministic order.
+func (c *Complex) AllSimplices() [][][]Vertex {
+	c.mustBeSealed("AllSimplices")
+	dim := c.Dimension()
+	if dim < 0 {
+		return nil
+	}
+	seen := make(map[string]struct{})
+	byDim := make([][][]Vertex, dim+1)
+	for _, f := range c.facets {
+		forEachSubset(f, func(sub []Vertex) {
+			k := simplexKey(sub)
+			if _, ok := seen[k]; ok {
+				return
+			}
+			seen[k] = struct{}{}
+			cp := append([]Vertex(nil), sub...)
+			byDim[len(cp)-1] = append(byDim[len(cp)-1], cp)
+		})
+	}
+	for d := range byDim {
+		sort.Slice(byDim[d], func(i, j int) bool {
+			return simplexLess(byDim[d][i], byDim[d][j])
+		})
+	}
+	return byDim
+}
+
+// FVector returns the number of simplices in each dimension: f[d] is the
+// count of d-simplices.
+func (c *Complex) FVector() []int {
+	all := c.AllSimplices()
+	f := make([]int, len(all))
+	for d, ss := range all {
+		f[d] = len(ss)
+	}
+	return f
+}
+
+// EulerCharacteristic returns Σ (−1)^d f_d.
+func (c *Complex) EulerCharacteristic() int {
+	chi := 0
+	for d, n := range c.FVector() {
+		if d%2 == 0 {
+			chi += n
+		} else {
+			chi -= n
+		}
+	}
+	return chi
+}
+
+// VerticesOfColor returns all vertices with the given color, ascending.
+func (c *Complex) VerticesOfColor(color int) []Vertex {
+	var out []Vertex
+	for i, a := range c.verts {
+		if a.color == color {
+			out = append(out, Vertex(i))
+		}
+	}
+	return out
+}
+
+// Colors returns the sorted set of colors used in the complex.
+func (c *Complex) Colors() []int {
+	set := make(map[int]struct{})
+	for _, a := range c.verts {
+		set[a.color] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for col := range set {
+		out = append(out, col)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Link returns the link of simplex s as a new complex: the simplices disjoint
+// from s whose union with s is a simplex. Vertex keys and colors are
+// inherited; the link is not a subdivision (no carriers).
+func (c *Complex) Link(s []Vertex) *Complex {
+	c.mustBeSealed("Link")
+	in := make(map[Vertex]struct{}, len(s))
+	for _, v := range s {
+		in[v] = struct{}{}
+	}
+	link := NewComplex()
+	for _, f := range c.facets {
+		if !isSubset(sortedCopy(s), f) {
+			continue
+		}
+		var rest []Vertex
+		for _, v := range f {
+			if _, ok := in[v]; !ok {
+				rest = append(rest, v)
+			}
+		}
+		if len(rest) == 0 {
+			continue
+		}
+		mapped := make([]Vertex, len(rest))
+		for i, v := range rest {
+			mapped[i] = link.MustAddVertex(c.verts[v].key, c.verts[v].color)
+		}
+		link.MustAddSimplex(mapped...)
+	}
+	return link.Seal()
+}
+
+// ConnectedComponents returns the vertex sets of the connected components
+// of the complex's 1-skeleton (isolated vertices form their own
+// components), each sorted, ordered by smallest vertex.
+func (c *Complex) ConnectedComponents() [][]Vertex {
+	c.mustBeSealed("ConnectedComponents")
+	parent := make([]int, len(c.verts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, f := range c.facets {
+		for i := 1; i < len(f); i++ {
+			union(int(f[0]), int(f[i]))
+		}
+	}
+	groups := make(map[int][]Vertex)
+	for v := range c.verts {
+		r := find(v)
+		groups[r] = append(groups[r], Vertex(v))
+	}
+	out := make([][]Vertex, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// IsConnected reports whether the complex has exactly one connected
+// component.
+func (c *Complex) IsConnected() bool {
+	return len(c.ConnectedComponents()) == 1
+}
+
+// Equal reports whether two sealed complexes have identical vertex keys,
+// colors, and facet sets (same complex, not merely isomorphic).
+func (c *Complex) Equal(o *Complex) bool {
+	c.mustBeSealed("Equal")
+	o.mustBeSealed("Equal")
+	if len(c.verts) != len(o.verts) || len(c.facets) != len(o.facets) {
+		return false
+	}
+	for _, a := range c.verts {
+		ov, ok := o.byKey[a.key]
+		if !ok || o.verts[ov].color != a.color {
+			return false
+		}
+	}
+	// Compare facets as sets of key-sets.
+	mine := make(map[string]struct{}, len(c.facets))
+	for _, f := range c.facets {
+		mine[c.facetKeyString(f)] = struct{}{}
+	}
+	for _, f := range o.facets {
+		if _, ok := mine[o.facetKeyString(f)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// facetKeyString canonically encodes a facet by its vertex keys.
+func (c *Complex) facetKeyString(f []Vertex) string {
+	keys := make([]string, len(f))
+	for i, v := range f {
+		keys[i] = c.verts[v].key
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x1f")
+}
+
+func (c *Complex) mustBeSealed(op string) {
+	if !c.sealed {
+		panic("topology: " + op + " called before Seal")
+	}
+}
+
+// simplexKey canonically encodes a sorted vertex slice.
+func simplexKey(s []Vertex) string {
+	var b strings.Builder
+	for i, v := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// simplexLess orders simplices lexicographically.
+func simplexLess(a, b []Vertex) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func sortedCopy(s []Vertex) []Vertex {
+	cp := append([]Vertex(nil), s...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp
+}
+
+// forEachSubset calls fn on every non-empty subset of the sorted slice f,
+// reusing a scratch buffer (fn must not retain its argument).
+func forEachSubset(f []Vertex, fn func([]Vertex)) {
+	n := len(f)
+	buf := make([]Vertex, 0, n)
+	for mask := 1; mask < 1<<n; mask++ {
+		buf = buf[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				buf = append(buf, f[i])
+			}
+		}
+		fn(buf)
+	}
+}
+
+// Simplex returns the standard chromatic n-simplex sⁿ: vertices P0…Pn with
+// color i and key "Pi", one facet containing all of them.
+func Simplex(n int) *Complex {
+	c := NewComplex()
+	vs := make([]Vertex, n+1)
+	for i := 0; i <= n; i++ {
+		vs[i] = c.MustAddVertex(fmt.Sprintf("P%d", i), i)
+	}
+	c.MustAddSimplex(vs...)
+	return c.Seal()
+}

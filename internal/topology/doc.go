@@ -1,0 +1,19 @@
+// Package topology implements the combinatorial topology substrate of the
+// Borowsky–Gafni characterization: abstract simplicial complexes with
+// colorings (chromatic complexes), carrier tracking for subdivisions, the
+// standard chromatic subdivision SDS, the barycentric subdivision Bsd, and
+// simplicial maps with color/carrier preservation checks.
+//
+// Complexes are purely combinatorial: a complex is a vertex table plus a set
+// of maximal simplices (facets); the simplices of the complex are exactly the
+// non-empty subsets of facets. Geometric notions from the paper (convex
+// hulls, embeddings) are replaced by their combinatorial shadows: the carrier
+// of a subdivision vertex is recorded as a face of the base complex, and
+// "subdivision of a subdivision" composes carriers so that SDS^b(C) is
+// always carried over the original C.
+//
+// Vertex identity is by canonical string key, so independently built
+// complexes (for example the SDS built here and the one-shot immediate
+// snapshot view complex enumerated in internal/protocol) can be compared for
+// exact equality rather than mere isomorphism.
+package topology

@@ -1,0 +1,93 @@
+package topology
+
+import "testing"
+
+func TestJoinOfTwoPointsIsEdge(t *testing.T) {
+	a := Points(1, 0, "a")
+	b := Points(1, 1, "b")
+	j, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Dimension() != 1 || len(j.Facets()) != 1 || j.NumVertices() != 2 {
+		t.Fatalf("join of two points: dim=%d facets=%d verts=%d",
+			j.Dimension(), len(j.Facets()), j.NumVertices())
+	}
+	if !j.IsChromatic() {
+		t.Error("join of distinct colors must be chromatic")
+	}
+}
+
+func TestJoinOfSimplicesIsSimplex(t *testing.T) {
+	// s⁰ * s¹ has the face structure of s²: C(3,k+1) faces per dimension.
+	a := Simplex(0)
+	bRaw := NewComplex()
+	x := bRaw.MustAddVertex("x", 1)
+	y := bRaw.MustAddVertex("y", 2)
+	bRaw.MustAddSimplex(x, y)
+	b := bRaw.Seal()
+
+	j, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Dimension() != 2 || len(j.Facets()) != 1 {
+		t.Fatalf("s⁰ * s¹: dim=%d facets=%d", j.Dimension(), len(j.Facets()))
+	}
+	want := []int{3, 3, 1}
+	for d, n := range j.FVector() {
+		if n != want[d] {
+			t.Fatalf("f-vector %v, want %v", j.FVector(), want)
+		}
+	}
+}
+
+func TestJoinBuildsBinaryInputComplex(t *testing.T) {
+	// The binary-inputs complex for 2 processes is the join of two 2-point
+	// sets: the complete bipartite graph with 4 edges (compare
+	// tasks.Consensus's input complex).
+	a := Points(2, 0, "p0v")
+	b := Points(2, 1, "p1v")
+	j, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Facets()) != 4 || j.NumVertices() != 4 {
+		t.Fatalf("join: facets=%d verts=%d, want 4/4", len(j.Facets()), j.NumVertices())
+	}
+	if !j.IsPure() || j.Dimension() != 1 {
+		t.Fatal("join should be a pure 1-complex")
+	}
+}
+
+func TestJoinRejectsKeyCollision(t *testing.T) {
+	a := Points(1, 0, "same")
+	b := Points(1, 1, "same")
+	if _, err := Join(a, b); err == nil {
+		t.Fatal("key collision must be rejected")
+	}
+}
+
+func TestJoinPreservesBothSides(t *testing.T) {
+	// Joining a path with a point cones it: every path edge becomes a
+	// triangle with the apex.
+	path := NewComplex()
+	u := path.MustAddVertex("u", 0)
+	v := path.MustAddVertex("v", 1)
+	w := path.MustAddVertex("w", 0)
+	path.MustAddSimplex(u, v)
+	path.MustAddSimplex(v, w)
+	path.Seal()
+	apex := Points(1, 2, "apex")
+
+	cone, err := Join(path, apex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cone.Facets()) != 2 || cone.Dimension() != 2 {
+		t.Fatalf("cone: facets=%d dim=%d", len(cone.Facets()), cone.Dimension())
+	}
+	if cone.EulerCharacteristic() != 1 {
+		t.Fatalf("cones are contractible: χ = %d, want 1", cone.EulerCharacteristic())
+	}
+}

@@ -1,0 +1,140 @@
+package topology
+
+import "testing"
+
+func TestSDSToBsdIsSimplicialAndCarrierPreserving(t *testing.T) {
+	// Lemma 5.3's building block: the canonical map SDS(sⁿ) → Bsd(sⁿ),
+	// (u, S) ↦ barycenter(S), is simplicial and carrier preserving.
+	for n := 1; n <= 3; n++ {
+		s := Simplex(n)
+		sds := SDS(s)
+		bsd := Bsd(s)
+		m, err := SDSToBsd(s, sds, bsd)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("n=%d: not simplicial: %v", n, err)
+		}
+		if !m.CarrierPreserving() {
+			t.Errorf("n=%d: not carrier preserving", n)
+		}
+		if !m.CarrierRespecting() {
+			t.Errorf("n=%d: not carrier respecting", n)
+		}
+		if m.ColorPreserving() {
+			t.Errorf("n=%d: SDS→Bsd cannot be color preserving (Bsd is uncolored)", n)
+		}
+	}
+}
+
+func TestSDSToBsdRequiresBaseComplex(t *testing.T) {
+	s := Simplex(2)
+	sds := SDS(s)
+	if _, err := SDSToBsd(sds, SDS(sds), Bsd(sds)); err == nil {
+		t.Error("SDSToBsd over a subdivision should fail")
+	}
+}
+
+func TestIdentityMapProperties(t *testing.T) {
+	s := SDS(Simplex(2))
+	m := NewSimplicialMap(s, s)
+	for v := range m.Image {
+		m.Image[v] = Vertex(v)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("identity not simplicial: %v", err)
+	}
+	if !m.ColorPreserving() || !m.CarrierPreserving() || !m.CarrierRespecting() {
+		t.Error("identity map should preserve colors and carriers")
+	}
+}
+
+func TestCollapsingMapIsSimplicial(t *testing.T) {
+	// Map SDS(s¹) → s¹ sending each vertex to the base vertex of its color.
+	// This collapses interior vertices onto corners; images of facets are
+	// faces of s¹, so the map is simplicial and color preserving, but not
+	// carrier preserving (interior vertices have smaller image carriers).
+	s := Simplex(1)
+	sds := SDS(s)
+	m := NewSimplicialMap(sds, s)
+	for v := 0; v < sds.NumVertices(); v++ {
+		m.Image[v] = Vertex(sds.Color(Vertex(v))) // base vertex ids = colors
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("collapse not simplicial: %v", err)
+	}
+	if !m.ColorPreserving() {
+		t.Error("collapse should be color preserving")
+	}
+	if m.CarrierPreserving() {
+		t.Error("collapse should not be carrier preserving")
+	}
+	if !m.CarrierRespecting() {
+		t.Error("collapse should be carrier respecting: image carriers shrink")
+	}
+}
+
+func TestValidateRejectsNonSimplicialMap(t *testing.T) {
+	// Path a—b—c (no edge a—c); map the edge {a,b} onto {a,c}.
+	c := NewComplex()
+	a := c.MustAddVertex("a", 0)
+	b := c.MustAddVertex("b", 1)
+	d := c.MustAddVertex("d", 0)
+	c.MustAddSimplex(a, b)
+	c.MustAddSimplex(b, d)
+	c.Seal()
+
+	m := NewSimplicialMap(c, c)
+	m.Image[a] = a
+	m.Image[b] = d // image of edge {a,b} is {a,d}: not a simplex
+	m.Image[d] = d
+	if err := m.Validate(); err == nil {
+		t.Error("non-simplicial map validated")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	s := Simplex(1)
+	sds := SDS(s)
+	sds2 := SDS(sds)
+
+	// SDS²(s¹) → SDS(s¹) collapse by color onto corner (i,{i}) vertices.
+	m1 := NewSimplicialMap(sds2, sds)
+	for v := 0; v < sds2.NumVertices(); v++ {
+		col := sds2.Color(Vertex(v))
+		corner := cornerVertex(t, sds, col)
+		m1.Image[v] = corner
+	}
+	m2 := NewSimplicialMap(sds, s)
+	for v := 0; v < sds.NumVertices(); v++ {
+		m2.Image[v] = Vertex(sds.Color(Vertex(v)))
+	}
+	comp, err := m1.Compose(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.Validate(); err != nil {
+		t.Fatalf("composition not simplicial: %v", err)
+	}
+	if !comp.ColorPreserving() {
+		t.Error("composition should preserve colors")
+	}
+
+	if _, err := m2.Compose(m1); err == nil {
+		t.Error("mismatched composition should fail")
+	}
+}
+
+// cornerVertex finds the vertex of sds with the given color whose carrier is
+// a single base vertex.
+func cornerVertex(t *testing.T, sds *Complex, color int) Vertex {
+	t.Helper()
+	for _, v := range sds.VerticesOfColor(color) {
+		if len(sds.Carrier(v)) == 1 {
+			return v
+		}
+	}
+	t.Fatalf("no corner vertex of color %d", color)
+	return 0
+}

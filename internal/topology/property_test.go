@@ -1,0 +1,165 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomChromaticComplex builds a small random chromatic complex: a handful
+// of facets over a pool of colored vertices, with colors distinct within
+// each facet by construction.
+func randomChromaticComplex(rng *rand.Rand) *Complex {
+	c := NewComplex()
+	nColors := 2 + rng.Intn(2)  // 2 or 3 colors
+	perColor := 1 + rng.Intn(2) // 1 or 2 vertices per color
+	pool := make([][]Vertex, nColors)
+	for col := 0; col < nColors; col++ {
+		for k := 0; k < perColor; k++ {
+			v := c.MustAddVertex(fmt.Sprintf("v%d_%d", col, k), col)
+			pool[col] = append(pool[col], v)
+		}
+	}
+	nFacets := 1 + rng.Intn(3)
+	for f := 0; f < nFacets; f++ {
+		size := 1 + rng.Intn(nColors)
+		cols := rng.Perm(nColors)[:size]
+		var facet []Vertex
+		for _, col := range cols {
+			facet = append(facet, pool[col][rng.Intn(len(pool[col]))])
+		}
+		c.MustAddSimplex(facet...)
+	}
+	return c.Seal()
+}
+
+// TestSDSPropertiesOnRandomComplexes: for random chromatic complexes,
+// SDS(C) must be chromatic, have Σ Fubini(|facet|) facets, carriers that
+// are faces of C, and the same Euler characteristic.
+func TestSDSPropertiesOnRandomComplexes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomChromaticComplex(rng)
+		sds := SDS(c)
+
+		if !sds.IsChromatic() {
+			t.Logf("seed %d: SDS not chromatic", seed)
+			return false
+		}
+		want := 0
+		for _, facet := range c.Facets() {
+			want += CountOrderedPartitions(len(facet))
+		}
+		if len(sds.Facets()) != want {
+			t.Logf("seed %d: %d facets, want %d", seed, len(sds.Facets()), want)
+			return false
+		}
+		for v := 0; v < sds.NumVertices(); v++ {
+			if !c.HasSimplex(sds.Carrier(Vertex(v))) {
+				t.Logf("seed %d: carrier of %d not a face of base", seed, v)
+				return false
+			}
+		}
+		if sds.EulerCharacteristic() != c.EulerCharacteristic() {
+			t.Logf("seed %d: χ changed: %d vs %d", seed, sds.EulerCharacteristic(), c.EulerCharacteristic())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBsdPropertiesOnRandomComplexes: Bsd(C) has Σ (|facet|)! facets and
+// preserves χ.
+func TestBsdPropertiesOnRandomComplexes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomChromaticComplex(rng)
+		bsd := Bsd(c)
+		want := 0
+		for _, facet := range c.Facets() {
+			want += factorial(len(facet))
+		}
+		if len(bsd.Facets()) != want {
+			t.Logf("seed %d: %d facets, want %d", seed, len(bsd.Facets()), want)
+			return false
+		}
+		return bsd.EulerCharacteristic() == c.EulerCharacteristic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHasSimplexAgreesWithClosure: HasSimplex must agree with membership in
+// the explicit closure AllSimplices.
+func TestHasSimplexAgreesWithClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		c := randomChromaticComplex(rng)
+		inClosure := make(map[string]bool)
+		for _, byDim := range c.AllSimplices() {
+			for _, s := range byDim {
+				inClosure[simplexKey(s)] = true
+			}
+		}
+		// Check every subset of the vertex set up to size 3.
+		n := c.NumVertices()
+		for mask := 1; mask < 1<<n && n <= 10; mask++ {
+			var s []Vertex
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					s = append(s, Vertex(i))
+				}
+			}
+			if len(s) > 3 {
+				continue
+			}
+			want := inClosure[simplexKey(s)]
+			if got := c.HasSimplex(s); got != want {
+				t.Fatalf("trial %d: HasSimplex(%v) = %v, closure says %v", trial, s, got, want)
+			}
+		}
+	}
+}
+
+// TestLinkVertexCounts: the link of a vertex v contains exactly the
+// vertices sharing a facet with v.
+func TestLinkVertexCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		c := randomChromaticComplex(rng)
+		for v := 0; v < c.NumVertices(); v++ {
+			neighbors := make(map[string]bool)
+			inAnyFacet := false
+			for _, f := range c.Facets() {
+				has := false
+				for _, u := range f {
+					if u == Vertex(v) {
+						has = true
+					}
+				}
+				if !has {
+					continue
+				}
+				inAnyFacet = true
+				for _, u := range f {
+					if u != Vertex(v) {
+						neighbors[c.Key(u)] = true
+					}
+				}
+			}
+			if !inAnyFacet {
+				continue
+			}
+			link := c.Link([]Vertex{Vertex(v)})
+			if link.NumVertices() != len(neighbors) {
+				t.Fatalf("trial %d vertex %d: link has %d vertices, want %d",
+					trial, v, link.NumVertices(), len(neighbors))
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// A Sperner labeling of a subdivided simplex assigns every vertex the color
+// of some vertex of its carrier (so corners get their own color, boundary
+// vertices a color of their boundary face). Sperner's lemma says every such
+// labeling has an odd — in particular non-zero — number of panchromatic
+// facets. It is the combinatorial engine behind the set-consensus
+// impossibility the paper discusses: a decision map avoiding panchromatic
+// outputs cannot exist, which is what the solver rediscovers by exhaustion.
+
+// SpernerLabeling is a per-vertex choice of base color.
+type SpernerLabeling []int
+
+// ValidateSpernerLabeling checks that label assigns every vertex a color
+// occurring in its carrier.
+func ValidateSpernerLabeling(c *Complex, label SpernerLabeling) error {
+	base := c.Base()
+	if base == nil {
+		return fmt.Errorf("topology: Sperner labelings need a subdivision")
+	}
+	if len(label) != c.NumVertices() {
+		return fmt.Errorf("topology: labeling has %d entries for %d vertices", len(label), c.NumVertices())
+	}
+	for v, lab := range label {
+		ok := false
+		for _, b := range c.Carrier(Vertex(v)) {
+			if base.Color(b) == lab {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("topology: vertex %d labeled %d, not a carrier color", v, lab)
+		}
+	}
+	return nil
+}
+
+// CountPanchromatic returns the number of facets whose vertices carry all
+// distinct labels (for a pure n-complex: n+1 distinct label values).
+func CountPanchromatic(c *Complex, label SpernerLabeling) (int, error) {
+	if err := ValidateSpernerLabeling(c, label); err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, f := range c.Facets() {
+		seen := make(map[int]struct{}, len(f))
+		for _, v := range f {
+			seen[label[v]] = struct{}{}
+		}
+		if len(seen) == len(f) {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// RandomSpernerLabeling draws a uniformly random carrier color for every
+// vertex.
+func RandomSpernerLabeling(c *Complex, rng *rand.Rand) SpernerLabeling {
+	base := c.Base()
+	label := make(SpernerLabeling, c.NumVertices())
+	for v := range label {
+		car := c.Carrier(Vertex(v))
+		label[v] = base.Color(car[rng.Intn(len(car))])
+	}
+	return label
+}
+
+// NaturalLabeling labels every vertex with its own chromatic color — always
+// a Sperner labeling for the standard chromatic subdivision, under which
+// every facet is panchromatic.
+func NaturalLabeling(c *Complex) SpernerLabeling {
+	label := make(SpernerLabeling, c.NumVertices())
+	for v := range label {
+		label[v] = c.Color(Vertex(v))
+	}
+	return label
+}

@@ -1,0 +1,100 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSpernerLemmaOnSDS: every random Sperner labeling of SDS^b(sⁿ) has an
+// odd number of panchromatic facets — Sperner's lemma, checked on the
+// standard chromatic subdivisions the paper's characterization is built on.
+func TestSpernerLemmaOnSDS(t *testing.T) {
+	complexes := []*Complex{
+		SDS(Simplex(1)),
+		SDSPow(Simplex(1), 2),
+		SDS(Simplex(2)),
+		SDSPow(Simplex(2), 2),
+		SDS(Simplex(3)),
+	}
+	for ci, c := range complexes {
+		c := c
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			label := RandomSpernerLabeling(c, rng)
+			n, err := CountPanchromatic(c, label)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			return n%2 == 1
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("complex %d: %v", ci, err)
+		}
+	}
+}
+
+func TestNaturalLabelingAllPanchromatic(t *testing.T) {
+	// The chromatic coloring itself labels every facet panchromatically —
+	// 13 rainbow triangles in SDS(s²).
+	sds := SDS(Simplex(2))
+	n, err := CountPanchromatic(sds, NaturalLabeling(sds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 13 {
+		t.Fatalf("natural labeling has %d panchromatic facets, want all 13", n)
+	}
+}
+
+func TestSpernerLabelingValidation(t *testing.T) {
+	sds := SDS(Simplex(1))
+	if err := ValidateSpernerLabeling(Simplex(1), SpernerLabeling{0, 1}); err == nil {
+		t.Error("non-subdivision must be rejected")
+	}
+	if err := ValidateSpernerLabeling(sds, SpernerLabeling{0}); err == nil {
+		t.Error("wrong length must be rejected")
+	}
+	// A corner labeled with the other color is not a Sperner labeling.
+	bad := NaturalLabeling(sds)
+	for v := 0; v < sds.NumVertices(); v++ {
+		if len(sds.Carrier(Vertex(v))) == 1 {
+			bad[v] = 1 - bad[v]
+			break
+		}
+	}
+	if err := ValidateSpernerLabeling(sds, bad); err == nil {
+		t.Error("corner with foreign label must be rejected")
+	}
+}
+
+// TestSpernerMinimalCount: a labeling constructed to minimize rainbow
+// facets still has at least one (indeed an odd number).
+func TestSpernerMinimalCount(t *testing.T) {
+	sds := SDSPow(Simplex(2), 2)
+	// Greedy "avoid panchromatic": label every vertex with the smallest
+	// carrier color.
+	base := sds.Base()
+	label := make(SpernerLabeling, sds.NumVertices())
+	for v := range label {
+		car := sds.Carrier(Vertex(v))
+		best := base.Color(car[0])
+		for _, b := range car {
+			if base.Color(b) < best {
+				best = base.Color(b)
+			}
+		}
+		label[v] = best
+	}
+	n, err := CountPanchromatic(sds, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n%2 != 1 {
+		t.Fatalf("panchromatic count %d is even", n)
+	}
+	if n < 1 {
+		t.Fatal("Sperner guarantees at least one panchromatic facet")
+	}
+}

@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"sort"
+	"strings"
+)
+
+// SDS returns the standard chromatic subdivision of the sealed chromatic
+// complex c.
+//
+// Each facet t of c is replaced by the one-shot immediate snapshot complex
+// over t (Lemma 3.2): the new vertices are pairs (u, S) with u ∈ S ⊆ t, and
+// the facets correspond to the ordered partitions (B1,…,Bm) of t — the facet
+// of partition (B1,…,Bm) takes S(u) = B1 ∪ … ∪ Bj for u ∈ Bj. Vertices on a
+// shared face of two facets have identical keys, so the per-facet
+// subdivisions glue into a subdivision of c.
+//
+// The result is a subdivision whose Base is c's base (or c itself if c is
+// not a subdivision), with carriers composed accordingly, so iterating SDS
+// keeps carriers relative to the original complex.
+func SDS(c *Complex) *Complex {
+	return SDSStructured(c).Complex
+}
+
+// SDSLevel is one application of the standard chromatic subdivision with
+// its construction structure retained: every new vertex is a pair (u, S)
+// where u is a vertex of Prev and S a face of Prev (u ∈ S). The structure
+// drives the geometric embedding (Embed) and any other recursion over the
+// construction.
+type SDSLevel struct {
+	Complex *Complex
+	Prev    *Complex
+	// U[v] and S[v] are the (u, S) pair of new vertex v, as vertices of
+	// Prev; S[v] is sorted.
+	U []Vertex
+	S [][]Vertex
+}
+
+// SDSStructured is SDS, additionally returning the construction structure.
+func SDSStructured(c *Complex) *SDSLevel {
+	c.mustBeSealed("SDS")
+	out := NewComplex()
+	base := c.base
+	if base == nil {
+		base = c
+	}
+	out.base = base
+	lvl := &SDSLevel{Complex: out, Prev: c}
+
+	addVertex := func(u Vertex, s []Vertex) Vertex {
+		key := sdsVertexKey(c, u, s)
+		v := out.MustAddVertex(key, c.Color(u))
+		if int(v) == len(lvl.U) {
+			lvl.U = append(lvl.U, u)
+			lvl.S = append(lvl.S, append([]Vertex(nil), s...))
+			// Carrier in the original base: union of the carriers of the
+			// vertices of S (S itself when c is the base).
+			carrierSet := make(map[Vertex]struct{})
+			for _, w := range s {
+				for _, b := range c.Carrier(w) {
+					carrierSet[b] = struct{}{}
+				}
+			}
+			carrier := make([]Vertex, 0, len(carrierSet))
+			for b := range carrierSet {
+				carrier = append(carrier, b)
+			}
+			out.SetCarrier(v, carrier)
+		}
+		return v
+	}
+
+	for _, t := range c.Facets() {
+		ForEachOrderedPartition(len(t), func(blocks [][]int) {
+			facet := make([]Vertex, 0, len(t))
+			var prefix []Vertex
+			for _, block := range blocks {
+				for _, bi := range block {
+					prefix = append(prefix, t[bi])
+				}
+				s := sortedCopy(prefix)
+				for _, bi := range block {
+					facet = append(facet, addVertex(t[bi], s))
+				}
+			}
+			out.MustAddSimplex(facet...)
+		})
+	}
+	out.Seal()
+	return lvl
+}
+
+// SDSPow returns SDS^b(c); SDSPow(c, 0) is c itself.
+func SDSPow(c *Complex, b int) *Complex {
+	for i := 0; i < b; i++ {
+		c = SDS(c)
+	}
+	return c
+}
+
+// sdsVertexKey canonically names the SDS vertex (u, S) using the keys of the
+// underlying complex, so that SDS complexes built over equal complexes are
+// equal.
+func sdsVertexKey(c *Complex, u Vertex, s []Vertex) string {
+	keys := make([]string, len(s))
+	for i, w := range s {
+		keys[i] = c.Key(w)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("S(")
+	b.WriteString(c.Key(u))
+	b.WriteString("|{")
+	b.WriteString(strings.Join(keys, " "))
+	b.WriteString("})")
+	return b.String()
+}
+
+// ForEachOrderedPartition enumerates every ordered partition of {0,…,n−1}
+// into non-empty blocks, calling fn with each. The blocks slice and its
+// contents are reused between calls; fn must not retain them.
+//
+// The number of ordered partitions of an n-set is the n-th Fubini number:
+// 1, 1, 3, 13, 75, 541, … — the facet counts of SDS(sⁿ⁻¹).
+func ForEachOrderedPartition(n int, fn func(blocks [][]int)) {
+	if n == 0 {
+		return
+	}
+	full := (1 << n) - 1
+	var blocks [][]int
+	var rec func(remaining int)
+	rec = func(remaining int) {
+		if remaining == 0 {
+			fn(blocks)
+			return
+		}
+		// Enumerate non-empty subsets of the remaining elements as the next
+		// block. Iterating sub = (sub-1)&remaining visits each subset once.
+		for sub := remaining; sub > 0; sub = (sub - 1) & remaining {
+			block := make([]int, 0, n)
+			for i := 0; i < n; i++ {
+				if sub&(1<<i) != 0 {
+					block = append(block, i)
+				}
+			}
+			blocks = append(blocks, block)
+			rec(remaining &^ sub)
+			blocks = blocks[:len(blocks)-1]
+		}
+	}
+	rec(full)
+}
+
+// CountOrderedPartitions returns the n-th Fubini number, the number of
+// ordered partitions of an n-element set.
+func CountOrderedPartitions(n int) int {
+	// a(n) = Σ_{k=1..n} C(n,k) a(n−k), a(0)=1.
+	a := make([]int, n+1)
+	a[0] = 1
+	for m := 1; m <= n; m++ {
+		for k := 1; k <= m; k++ {
+			a[m] += binomial(m, k) * a[m-k]
+		}
+	}
+	return a[n]
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}

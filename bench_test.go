@@ -17,6 +17,7 @@ import (
 	"waitfree/internal/modelcheck"
 	"waitfree/internal/protocol"
 	"waitfree/internal/register"
+	"waitfree/internal/sched"
 	"waitfree/internal/solver"
 	"waitfree/internal/tasks"
 	"waitfree/internal/topology"
@@ -59,6 +60,44 @@ func BenchmarkFig2Emulation(b *testing.B) {
 			// excess is the price of contention — the paper's "nonblocking"
 			// caveat quantified).
 			b.ReportMetric(float64(memories)/float64(b.N*n*6), "memories/op")
+		})
+	}
+}
+
+// --- E17: the deterministic scheduler's cost on the Figure-2 emulation -----
+
+// BenchmarkScheduledEmulation measures the Figure-2 emulation on the live Go
+// scheduler (the production path, gate checks compiled in but nil) against
+// the same run serialized under deterministic adversaries. The live variant
+// is the regression guard for the step-point instrumentation: it must stay
+// within noise of BenchmarkFig2Emulation.
+func BenchmarkScheduledEmulation(b *testing.B) {
+	const (
+		n = 3
+		k = 3
+	)
+	b.Run("live", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunKShot(core.NewEmulatedMemory(n), core.RunConfig{N: n, K: k}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, advName := range []string{"round-robin", "random", "priority-inversion"} {
+		b.Run(advName, func(b *testing.B) {
+			var steps int
+			for i := 0; i < b.N; i++ {
+				adv, err := sched.NewAdversary(advName, int64(i+1), n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctl := sched.New(sched.Config{Procs: n, Adversary: adv})
+				if _, err := core.RunKShot(core.NewEmulatedMemory(n), core.RunConfig{N: n, K: k, Sched: ctl}); err != nil {
+					b.Fatal(err)
+				}
+				steps += ctl.TotalSteps()
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/run")
 		})
 	}
 }

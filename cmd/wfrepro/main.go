@@ -11,6 +11,9 @@
 //	                    distributed simplex agreement
 //	wfrepro rename    — wait-free (2p−1)-renaming runs
 //	wfrepro bg        — BG simulation demo
+//	wfrepro adversary — deterministic adversary schedules + crash injection
+//	                    over any concurrent runtime; reproducible from
+//	                    (adversary, seed, crash vector)
 //
 // Run `wfrepro <cmd> -h` for per-command flags.
 package main
@@ -42,6 +45,7 @@ func run(args []string) error {
 		"converge":   cmdConverge,
 		"rename":     cmdRename,
 		"bg":         cmdBG,
+		"adversary":  cmdAdversary,
 		"bound":      cmdBound,
 		"modelcheck": cmdModelCheck,
 		"sperner":    cmdSperner,
@@ -68,6 +72,7 @@ commands:
   converge   Theorem 5.1 map search + distributed simplex agreement
   rename     wait-free (2p-1)-renaming
   bg         Borowsky-Gafni simulation demo
+  adversary  run a runtime under a deterministic adversary schedule
   bound      Lemma 3.1 Koenig-tree decision bounds
   modelcheck exhaustive interleavings of the participating-set algorithm
   sperner    random Sperner labelings of SDS^b (odd panchromatic counts)

@@ -20,6 +20,13 @@ func TestSubcommandsRun(t *testing.T) {
 		{"rename", "-n", "3", "-trials", "2"},
 		{"bg", "-sim", "2", "-m", "3", "-f", "1", "-crashes", "0", "-trials", "1"},
 		{"bound", "-n", "2"},
+		{"adversary", "-algo", "commitadopt", "-adv", "priority-inversion", "-n", "3", "-crash", "2,-1,-1"},
+		{"adversary", "-algo", "setconsensus", "-adv", "solo-0", "-n", "3", "-maxsteps", "2000"},
+		{"adversary", "-algo", "renaming", "-adv", "random", "-seed", "42", "-n", "3"},
+		{"adversary", "-algo", "renaming-emulated", "-adv", "round-robin", "-n", "3"},
+		{"adversary", "-algo", "approx", "-adv", "laggard", "-n", "3", "-crash", "-1,3,-1"},
+		{"adversary", "-algo", "fullinfo", "-adv", "block-1", "-n", "3"},
+		{"adversary", "-algo", "bg", "-adv", "random", "-seed", "7", "-n", "3", "-crash", "-1,-1,9"},
 		{"modelcheck", "-n", "3"},
 		{"sperner", "-n", "2", "-b", "1", "-samples", "5"},
 		{"ncsac", "-path", "3", "-trials", "2"},
@@ -51,5 +58,11 @@ func TestGuardsRejectExplosiveParameters(t *testing.T) {
 	}
 	if err := run([]string{"bg", "-crashes", "3", "-f", "1"}); err == nil {
 		t.Error("crashes > f should be rejected (would block)")
+	}
+	if err := run([]string{"adversary", "-algo", "commitadopt", "-n", "2", "-crash", "0,0"}); err == nil {
+		t.Error("crashing every process should be rejected (not a proper subset)")
+	}
+	if err := run([]string{"adversary", "-adv", "solo-5", "-n", "3"}); err == nil {
+		t.Error("out-of-range solo adversary should be rejected")
 	}
 }

@@ -2,12 +2,12 @@ package bg
 
 import (
 	"fmt"
-	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 
 	"waitfree/internal/register"
+	"waitfree/internal/sched"
 )
 
 // Cell is the latest visible state of one simulated process's register.
@@ -56,6 +56,7 @@ type Simulation struct {
 	code  Code
 
 	board *register.Snapshot[row]
+	gate  sched.Gate // set before RunAllScheduled spawns; nil = live scheduler
 
 	mu  sync.Mutex
 	sas map[[2]int]*SafeAgreement[string] // (simulated proc, step) → agreement
@@ -80,6 +81,19 @@ func NewSimulation(nSim, mProc int, code Code) *Simulation {
 	}
 }
 
+// SetGate routes every shared-memory operation of the simulation — the board
+// and all safe agreement objects, including ones allocated later — through a
+// scheduler step point. Call before spawning simulators.
+func (s *Simulation) SetGate(g sched.Gate) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gate = g
+	s.board.SetGate(g)
+	for _, sa := range s.sas {
+		sa.SetGate(g)
+	}
+}
+
 // sa returns the safe agreement object for (p, step), lazily allocated. The
 // map mutex is a harness convenience, not part of the modeled computation: a
 // real deployment would preallocate the (bounded, per Lemma 3.1) schedule of
@@ -90,6 +104,7 @@ func (s *Simulation) sa(p, step int) *SafeAgreement[string] {
 	key := [2]int{p, step}
 	if s.sas[key] == nil {
 		s.sas[key] = NewSafeAgreement[string](s.nSim)
+		s.sas[key].SetGate(s.gate)
 	}
 	return s.sas[key]
 }
@@ -231,7 +246,7 @@ func (s *Simulation) Run(i, crashAfter int) int {
 			}
 			st.tryAdvance(p)
 		}
-		runtime.Gosched()
+		sched.Yield(s.gate)
 	}
 }
 
@@ -248,23 +263,40 @@ type Result struct {
 // simulator can block at most one simulated process inside a safe
 // agreement).
 func (s *Simulation) RunAll(crashAfter []int) *Result {
+	res, _ := s.RunAllScheduled(crashAfter)
+	return res
+}
+
+// RunAllScheduled is RunAll under a deterministic adversarial schedule when
+// sched.Under(ctl) is given (all board and safe-agreement operations become
+// step points). A controller-crashed simulator adopts -1, like crashAfter
+// ones; if the controller crashes more simulators than the simulated code's
+// resilience, survivors spin until the step budget fail-stops them and the
+// returned error is a *sched.BudgetError.
+func (s *Simulation) RunAllScheduled(crashAfter []int, opts ...sched.RunOption) (*Result, error) {
+	ro := sched.BuildOpts(opts)
+	if ro.Controller != nil {
+		s.SetGate(ro.Controller)
+	}
 	adopted := make([]int, s.nSim)
-	var wg sync.WaitGroup
+	for i := range adopted {
+		adopted[i] = -1 // overwritten by simulators that finish
+	}
+	grp := sched.NewGroup(ro.Controller)
 	for i := 0; i < s.nSim; i++ {
 		limit := -1
 		if crashAfter != nil && i < len(crashAfter) {
 			limit = crashAfter[i]
 		}
-		wg.Add(1)
-		go func(i, limit int) {
-			defer wg.Done()
+		grp.Go(i, func() {
 			adopted[i] = s.Run(i, limit)
-		}(i, limit)
+		})
 	}
-	wg.Wait()
+	err := grp.Wait()
 
 	res := &Result{Adopted: adopted, Simulated: make(map[int]int)}
-	// Final pass over the board for reporting.
+	// Final pass over the board for reporting (the controller, if any, has
+	// finished by now, so gated operations pass straight through).
 	view := s.board.Scan()
 	for _, e := range view {
 		if !e.Present {
@@ -276,7 +308,7 @@ func (s *Simulation) RunAll(crashAfter []int) *Result {
 			}
 		}
 	}
-	return res
+	return res, err
 }
 
 // recordAgreed stores the agreed snapshot for (p, step), checking that all

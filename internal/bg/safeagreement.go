@@ -13,6 +13,7 @@ import (
 	"runtime"
 
 	"waitfree/internal/register"
+	"waitfree/internal/sched"
 )
 
 // saLevel is a proposer's state in the safe agreement protocol.
@@ -43,6 +44,10 @@ type SafeAgreement[T any] struct {
 func NewSafeAgreement[T any](n int) *SafeAgreement[T] {
 	return &SafeAgreement[T]{snap: register.NewSnapshot[saState[T]](n)}
 }
+
+// SetGate routes the object's register operations through a scheduler step
+// point. Call before any proposer starts.
+func (sa *SafeAgreement[T]) SetGate(g sched.Gate) { sa.snap.SetGate(g) }
 
 // Propose submits process i's value. Wait-free: two updates and one scan.
 func (sa *SafeAgreement[T]) Propose(i int, v T) {

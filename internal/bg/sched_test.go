@@ -1,0 +1,90 @@
+package bg
+
+import (
+	"reflect"
+	"testing"
+
+	"waitfree/internal/sched"
+)
+
+// TestBGSimulationUnderSchedules drives the full BG simulation — board,
+// safe agreements, simulator loops — through the deterministic scheduler:
+// the simulation must stay correct under starvation adversaries and under
+// controller-injected simulator crashes (within the simulated code's
+// resilience), including crashes landing inside a safe-agreement window.
+func TestBGSimulationUnderSchedules(t *testing.T) {
+	const (
+		nSim, mProc, f = 3, 5, 2
+	)
+	inputs := []int{30, 10, 20}
+	cases := []struct {
+		adv     string
+		seed    int64
+		crashAt []int
+		crashed map[int]bool
+	}{
+		{adv: "round-robin", seed: 1},
+		{adv: "priority-inversion", seed: 1},
+		{adv: "laggard", seed: 1},
+		{adv: "random", seed: 7},
+		{adv: "random", seed: 20260805},
+		// One controller crash ≤ f: the stranded simulator may block one
+		// simulated process mid-agreement; survivors must still adopt.
+		{adv: "round-robin", seed: 1, crashAt: []int{6, -1, -1}, crashed: map[int]bool{0: true}},
+		{adv: "random", seed: 7, crashAt: []int{-1, 9, -1}, crashed: map[int]bool{1: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.adv, func(t *testing.T) {
+			adv, err := sched.NewAdversary(tc.adv, tc.seed, nSim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim := NewSimulation(nSim, mProc, &SetConsensusCode{MProc: mProc, F: f, Inputs: inputs})
+			ctl := sched.New(sched.Config{Procs: nSim, Adversary: adv, CrashAt: tc.crashAt})
+			res, err := sim.RunAllScheduled(nil, sched.Under(ctl))
+			if err != nil {
+				t.Fatalf("adversary=%s seed=%d crash=%v: %v", tc.adv, tc.seed, tc.crashAt, err)
+			}
+			validateBG(t, inputs, res, f+1, tc.crashed)
+			if err := sim.ValidateSimulatedExecution(); err != nil {
+				t.Fatalf("adversary=%s seed=%d crash=%v: %v", tc.adv, tc.seed, tc.crashAt, err)
+			}
+			for i, crashed := range tc.crashed {
+				if crashed && !ctl.Crashed(i) {
+					t.Errorf("adversary=%s seed=%d crash=%v: simulator %d should have crashed, status %v",
+						tc.adv, tc.seed, tc.crashAt, i, ctl.StatusOf(i))
+				}
+			}
+		})
+	}
+}
+
+// TestBGScheduleReproducibility: identical (adversary, seed, crash vector)
+// replays the identical simulation, trace and adoptions alike.
+func TestBGScheduleReproducibility(t *testing.T) {
+	const (
+		nSim, mProc, f = 3, 5, 2
+	)
+	inputs := []int{3, 1, 2}
+	run := func() ([]int, []int) {
+		sim := NewSimulation(nSim, mProc, &SetConsensusCode{MProc: mProc, F: f, Inputs: inputs})
+		ctl := sched.New(sched.Config{
+			Procs:     nSim,
+			Adversary: sched.NewRandom(99),
+			CrashAt:   []int{-1, -1, 8},
+		})
+		res, err := sim.RunAllScheduled(nil, sched.Under(ctl))
+		if err != nil {
+			t.Fatalf("RunAllScheduled: %v", err)
+		}
+		return ctl.Trace(), res.Adopted
+	}
+	trace1, adopted1 := run()
+	trace2, adopted2 := run()
+	if !reflect.DeepEqual(trace1, trace2) {
+		t.Fatalf("adversary=random seed=99 crash=[-1 -1 8]: traces diverge (%d vs %d grants)", len(trace1), len(trace2))
+	}
+	if !reflect.DeepEqual(adopted1, adopted2) {
+		t.Fatalf("adversary=random seed=99 crash=[-1 -1 8]: adoptions diverge: %v vs %v", adopted1, adopted2)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"waitfree/internal/register"
+	"waitfree/internal/sched"
 )
 
 // ShotMemory is the memory interface consumed by the k-shot full-information
@@ -36,6 +37,10 @@ var _ ShotMemory = (*DirectMemory)(nil)
 func NewDirectMemory(n int) *DirectMemory {
 	return &DirectMemory{snap: register.NewSnapshot[writeRecord](n)}
 }
+
+// SetGate installs the step-point gate for deterministic scheduling on the
+// underlying snapshot object (register granularity).
+func (m *DirectMemory) SetGate(g sched.Gate) { m.snap.SetGate(g) }
 
 // Write publishes (seq, val) in the caller's cell.
 func (m *DirectMemory) Write(proc, seq int, val string) error {

@@ -5,6 +5,7 @@ import (
 
 	"waitfree/internal/iis"
 	"waitfree/internal/immediate"
+	"waitfree/internal/sched"
 )
 
 // Emulator runs one process of Figure 2: it emulates that process's writes
@@ -22,6 +23,10 @@ type Emulator struct {
 	proc int
 	next int                      // next memory index (the paper's j)
 	last immediate.View[TupleSet] // view returned by the last WriteRead
+
+	// gate, when set, receives a step point at each iteration of the
+	// Figure 2 while loop (before the WriteRead submission).
+	gate sched.Gate
 }
 
 // NewEmulator returns the Figure 2 emulator for process proc over mem.
@@ -40,6 +45,7 @@ func (e *Emulator) advance(own Tuple) (TupleSet, error) {
 	in := UnionOfView(e.last)
 	in.Add(own)
 	for {
+		sched.Point(e.gate)
 		view, err := e.mem.WriteRead(e.proc, e.next, in)
 		if err != nil {
 			return nil, fmt.Errorf("core: emulator P%d: %w", e.proc, err)
@@ -107,6 +113,17 @@ func NewEmulatedMemory(n int) *EmulatedMemory {
 		emus[i] = NewEmulator(mem, i)
 	}
 	return &EmulatedMemory{mem: mem, emus: emus}
+}
+
+// SetGate installs the step-point gate for deterministic scheduling: on the
+// per-process emulators (one step per Figure 2 loop iteration) and on the
+// underlying iterated memory (one step per WriteRead plus the
+// immediate-level steps of each one-shot). Call before the run starts.
+func (m *EmulatedMemory) SetGate(g sched.Gate) {
+	m.mem.SetGate(g)
+	for _, e := range m.emus {
+		e.gate = g
+	}
 }
 
 // Write emulates proc's seq-th write.

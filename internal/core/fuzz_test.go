@@ -1,6 +1,12 @@
 package core
 
-import "testing"
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"waitfree/internal/sched"
+)
 
 // FuzzDecodeHistory hardens the approximate-agreement history codec against
 // arbitrary memory contents (a foreign or corrupted value must produce an
@@ -30,6 +36,124 @@ func FuzzDecodeHistory(f *testing.F) {
 			if got := h2[k]; got != v && !(got != got && v != v) { // NaN-safe
 				t.Fatalf("round trip changed h[%d]: %g vs %g", k, v, got)
 			}
+		}
+	})
+}
+
+// fuzzAdversaries is the strategy pool the scheduled fuzz target draws from.
+var fuzzAdversaries = []string{
+	"round-robin", "random", "priority-inversion", "laggard",
+	"solo-0", "solo-1", "solo-2", "block-1", "block-2",
+}
+
+// fuzzCrashStep normalizes an arbitrary fuzzed int into a crash step:
+// negative means never, otherwise an early step index.
+func fuzzCrashStep(c int) int {
+	if c < 0 {
+		return -1
+	}
+	return c % 64
+}
+
+// FuzzScheduledEmulation drives the Figure-2 emulation through the
+// deterministic scheduler with fuzzed (seed, crash vector, adversary) and
+// checks the wait-freedom contract on every schedule found:
+//
+//   - the run terminates without exhausting the step budget (the emulation
+//     is wait-free, whatever the schedule and crash pattern);
+//   - surviving processes complete all their operations;
+//   - recorded snapshot views are self-inclusive and totally ordered;
+//   - replaying the identical (adversary, seed, crash vector) reproduces the
+//     identical trace.
+//
+// With no crashes injected the full trace specification must hold. (With
+// crashes, a process can die inside a memory operation after its write became
+// visible but before the harness recorded it, so the recorded-write
+// consistency clauses of Trace.Validate do not apply.)
+func FuzzScheduledEmulation(f *testing.F) {
+	f.Add(int64(1), -1, -1, -1, 0)
+	f.Add(int64(42), 2, -1, 5, 1)
+	f.Add(int64(7), -1, 0, -1, 4)
+	f.Add(int64(20260805), 3, 9, -1, 8)
+	f.Fuzz(func(t *testing.T, seed int64, c0, c1, c2, advSel int) {
+		const (
+			n = 3
+			k = 2
+		)
+		name := fuzzAdversaries[((advSel%len(fuzzAdversaries))+len(fuzzAdversaries))%len(fuzzAdversaries)]
+		crashAt := []int{fuzzCrashStep(c0), fuzzCrashStep(c1), fuzzCrashStep(c2)}
+
+		run := func() (*Trace, *sched.Controller) {
+			adv, err := sched.NewAdversary(name, seed, n)
+			if err != nil {
+				t.Fatalf("NewAdversary(%q): %v", name, err)
+			}
+			ctl := sched.New(sched.Config{Procs: n, Adversary: adv, CrashAt: crashAt, MaxSteps: 300000})
+			tr, err := RunKShot(NewEmulatedMemory(n), RunConfig{N: n, K: k, Sched: ctl})
+			var be *sched.BudgetError
+			if errors.As(err, &be) {
+				t.Fatalf("adversary=%s seed=%d crash=%v: emulation not wait-free under this schedule: %v",
+					name, seed, crashAt, err)
+			}
+			if err != nil {
+				t.Fatalf("adversary=%s seed=%d crash=%v: %v", name, seed, crashAt, err)
+			}
+			return tr, ctl
+		}
+		tr, ctl := run()
+
+		crashed := 0
+		opsByProc := make([]int, n)
+		for _, op := range tr.Ops {
+			opsByProc[op.Proc]++
+		}
+		for p := 0; p < n; p++ {
+			if crashAt[p] >= 0 {
+				crashed++
+				if !ctl.Crashed(p) && ctl.StatusOf(p) != sched.StatusDone {
+					t.Fatalf("adversary=%s seed=%d crash=%v: P%d neither crashed nor done: %v",
+						name, seed, crashAt, p, ctl.StatusOf(p))
+				}
+				continue
+			}
+			if got := opsByProc[p]; got != 2*k {
+				t.Fatalf("adversary=%s seed=%d crash=%v: survivor P%d completed %d/%d ops",
+					name, seed, crashAt, p, got, 2*k)
+			}
+		}
+		if crashed == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("adversary=%s seed=%d crash=%v: %v", name, seed, crashAt, err)
+			}
+		} else {
+			// Crash-robust subset of the spec: read-own-write plus total
+			// comparability of all recorded views.
+			var reads []Op
+			for _, op := range tr.Ops {
+				if op.Kind == OpRead {
+					reads = append(reads, op)
+				}
+			}
+			for _, r := range reads {
+				if r.Seqs[r.Proc] != r.Seq {
+					t.Fatalf("adversary=%s seed=%d crash=%v: P%d read %d misses own write",
+						name, seed, crashAt, r.Proc, r.Seq)
+				}
+			}
+			for i := 0; i < len(reads); i++ {
+				for j := i + 1; j < len(reads); j++ {
+					if !seqsComparable(reads[i].Seqs, reads[j].Seqs) {
+						t.Fatalf("adversary=%s seed=%d crash=%v: incomparable views %v and %v",
+							name, seed, crashAt, reads[i].Seqs, reads[j].Seqs)
+					}
+				}
+			}
+		}
+
+		tr2, _ := run()
+		if !reflect.DeepEqual(tr.Ops, tr2.Ops) {
+			t.Fatalf("adversary=%s seed=%d crash=%v: replay diverged (%d vs %d ops)",
+				name, seed, crashAt, len(tr.Ops), len(tr2.Ops))
 		}
 	})
 }

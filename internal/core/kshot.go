@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"waitfree/internal/sched"
 )
 
 // RunConfig configures a run of the k-shot full-information protocol
@@ -28,6 +30,22 @@ type RunConfig struct {
 	// pseudo-random number of times, diversifying the interleavings explored
 	// across trials without giving up reproducibility.
 	JitterSeed int64
+
+	// Sched, when non-nil, runs the processes under the deterministic
+	// adversarial scheduler instead of live goroutines: processes are
+	// spawned through the controller, one step point is taken before every
+	// operation, and — when the memory supports SetGate — the memory's own
+	// step points are driven by the same controller. Crash injection then
+	// comes from the controller's crash vector (in scheduler steps), on top
+	// of the operation-count crashes of CrashAfterOps.
+	Sched *sched.Controller
+}
+
+// GatedMemory is implemented by ShotMemory backends that can route their
+// internal step points through a scheduler gate (DirectMemory and
+// EmulatedMemory both do).
+type GatedMemory interface {
+	SetGate(sched.Gate)
 }
 
 // RunKShot drives n processes, as goroutines, through the k-shot atomic
@@ -50,12 +68,17 @@ func RunKShot(mem ShotMemory, cfg RunConfig) (*Trace, error) {
 		return nil, fmt.Errorf("core: %d inputs for %d processes", len(inputs), cfg.N)
 	}
 
+	if cfg.Sched != nil {
+		if gm, ok := mem.(GatedMemory); ok {
+			gm.SetGate(cfg.Sched)
+		}
+	}
 	var (
 		ticker Ticker
 		mu     sync.Mutex
 		trace  = &Trace{N: cfg.N, K: cfg.K}
 		errs   = make([]error, cfg.N)
-		wg     sync.WaitGroup
+		grp    = sched.NewGroup(cfg.Sched)
 	)
 	record := func(op Op) {
 		mu.Lock()
@@ -70,14 +93,16 @@ func RunKShot(mem ShotMemory, cfg RunConfig) (*Trace, error) {
 	}
 
 	for i := 0; i < cfg.N; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		grp.Go(i, func() {
 			var jitter *rand.Rand
-			if cfg.JitterSeed != 0 {
+			if cfg.JitterSeed != 0 && cfg.Sched == nil {
 				jitter = rand.New(rand.NewSource(cfg.JitterSeed + int64(i)*7919))
 			}
 			yield := func() {
+				if cfg.Sched != nil {
+					cfg.Sched.Step()
+					return
+				}
 				if jitter == nil {
 					return
 				}
@@ -115,9 +140,11 @@ func RunKShot(mem ShotMemory, cfg RunConfig) (*Trace, error) {
 
 				val = EncodeFullInfo(vals, seqs)
 			}
-		}(i)
+		})
 	}
-	wg.Wait()
+	if err := grp.Wait(); err != nil {
+		return trace, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return trace, err

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"waitfree/internal/immediate"
+	"waitfree/internal/sched"
 )
 
 // Memory is an unbounded sequence of one-shot immediate snapshot memories
@@ -26,10 +27,19 @@ import (
 type Memory[T any] struct {
 	n int
 
+	// gate, when set, receives a step point at each WriteRead and is
+	// propagated to every materialized one-shot memory (immediate-level
+	// granularity). Set before sharing the memory.
+	gate sched.Gate
+
 	mu   sync.Mutex
 	ms   []*immediate.OneShot[T]
 	next []int // next round each process may access; guards the discipline
 }
+
+// SetGate installs the step-point gate for deterministic scheduling, on this
+// memory and on every one-shot memory it materializes.
+func (m *Memory[T]) SetGate(g sched.Gate) { m.gate = g }
 
 // NewMemory returns an iterated immediate snapshot memory for n processes.
 func NewMemory[T any](n int) *Memory[T] {
@@ -59,7 +69,9 @@ func (m *Memory[T]) memory(proc, round int) (*immediate.OneShot[T], error) {
 	}
 	m.next[proc] = round + 1
 	for len(m.ms) <= round {
-		m.ms = append(m.ms, immediate.New[T](m.n))
+		one := immediate.New[T](m.n)
+		one.SetGate(m.gate)
+		m.ms = append(m.ms, one)
 	}
 	return m.ms[round], nil
 }
@@ -68,6 +80,7 @@ func (m *Memory[T]) memory(proc, round int) (*immediate.OneShot[T], error) {
 // v and returns its immediate snapshot view. Each process must call rounds
 // 0, 1, 2, … in order.
 func (m *Memory[T]) WriteRead(proc, round int, v T) (immediate.View[T], error) {
+	sched.Point(m.gate) // round advance is a step point (outside the mutex)
 	one, err := m.memory(proc, round)
 	if err != nil {
 		return nil, err

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"waitfree/internal/register"
+	"waitfree/internal/sched"
 )
 
 // state is what each process publishes in the snapshot memory.
@@ -35,7 +36,23 @@ type OneShot[T any] struct {
 	n    int
 	snap *register.Snapshot[state[T]]
 	used []bool // per-process one-shot guard (written only by the owner)
+
+	// gate, when set, receives a step point before each level announcement
+	// (Update) and each level scan — the granularity at which the levels
+	// algorithm is modeled by internal/modelcheck, so scheduler-driven runs
+	// of this code and the model checker explore the same step machine.
+	gate sched.Gate
 }
+
+// SetGate installs the immediate-level step-point gate. Call before sharing
+// the object; the underlying register keeps its own (separate) gate — see
+// GateRegisters for the finer granularity.
+func (o *OneShot[T]) SetGate(g sched.Gate) { o.gate = g }
+
+// GateRegisters additionally gates the underlying atomic snapshot object at
+// register granularity (one step per collect and per store), for schedules
+// that interleave inside Scan/Update.
+func (o *OneShot[T]) GateRegisters(g sched.Gate) { o.snap.SetGate(g) }
 
 // New returns a one-shot immediate snapshot object for n processes.
 func New[T any](n int) *OneShot[T] {
@@ -108,7 +125,9 @@ func (o *OneShot[T]) WriteReadWithStats(i int, v T) (View[T], int, error) {
 	for {
 		level--
 		descents++
+		sched.Point(o.gate)
 		o.snap.Update(i, state[T]{level: level, val: v})
+		sched.Point(o.gate)
 		scan := o.snap.Scan()
 		// S = processes at level ≤ mine.
 		count := 0

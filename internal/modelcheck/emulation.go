@@ -24,9 +24,9 @@ import (
 
 // emProc is one emulator's deterministic local state.
 type emProc struct {
-	op    uint8  // next operation index: 2(s−1) = shot-s write, odd = read; 2k = done
-	j     uint8  // next memory index
-	input uint64 // tuple set to submit next (contains the own current tuple)
+	op    uint8    // next operation index: 2(s−1) = shot-s write, odd = read; 2k = done
+	j     uint8    // next memory index
+	input uint64   // tuple set to submit next (contains the own current tuple)
 	reads []uint64 // ∩S at each completed read (one per finished shot)
 }
 

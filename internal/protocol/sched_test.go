@@ -1,0 +1,79 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+
+	"waitfree/internal/sched"
+	"waitfree/internal/topology"
+)
+
+// TestFullInfoUnderSchedules runs the concurrent full-information protocol
+// under adversarial schedules with controller-injected crashes: whatever the
+// interleaving, the finishers' views must land on a simplex of SDS^b — the
+// runtime plane staying inside the combinatorial plane of Lemma 3.3.
+func TestFullInfoUnderSchedules(t *testing.T) {
+	const (
+		procs = 3
+		b     = 2
+	)
+	complex := topology.SDSPow(topology.Simplex(procs-1), b)
+	cases := []struct {
+		adv     string
+		seed    int64
+		crashAt []int
+	}{
+		{adv: "round-robin", seed: 1},
+		{adv: "priority-inversion", seed: 1},
+		{adv: "solo-1", seed: 1},
+		{adv: "random", seed: 5},
+		{adv: "random", seed: 5, crashAt: []int{3, -1, -1}},
+		{adv: "laggard", seed: 1, crashAt: []int{-1, 2, 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.adv, func(t *testing.T) {
+			adv, err := sched.NewAdversary(tc.adv, tc.seed, procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctl := sched.New(sched.Config{Procs: procs, Adversary: adv, CrashAt: tc.crashAt})
+			res, err := RunFullInfo(procs, b, nil, sched.Under(ctl))
+			if err != nil {
+				t.Fatalf("adversary=%s seed=%d crash=%v: %v", tc.adv, tc.seed, tc.crashAt, err)
+			}
+			for i := 0; i < procs; i++ {
+				if ctl.Crashed(i) && res.Keys[i] != "" {
+					t.Errorf("adversary=%s seed=%d crash=%v: crashed P%d reports view %q",
+						tc.adv, tc.seed, tc.crashAt, i, res.Keys[i])
+				}
+				if ctl.StatusOf(i) == sched.StatusDone && res.Keys[i] == "" {
+					t.Errorf("adversary=%s seed=%d crash=%v: finished P%d has no view",
+						tc.adv, tc.seed, tc.crashAt, i)
+				}
+			}
+			if _, err := LocateRun(complex, res); err != nil {
+				t.Fatalf("adversary=%s seed=%d crash=%v: %v", tc.adv, tc.seed, tc.crashAt, err)
+			}
+		})
+	}
+}
+
+// TestFullInfoScheduleReproducibility: identical schedule parameters replay
+// identical final views.
+func TestFullInfoScheduleReproducibility(t *testing.T) {
+	const (
+		procs = 3
+		b     = 3
+	)
+	run := func() []string {
+		ctl := sched.New(sched.Config{Procs: procs, Adversary: sched.NewRandom(77)})
+		res, err := RunFullInfo(procs, b, nil, sched.Under(ctl))
+		if err != nil {
+			t.Fatalf("RunFullInfo: %v", err)
+		}
+		return res.Keys
+	}
+	if a, b2 := run(), run(); !reflect.DeepEqual(a, b2) {
+		t.Fatalf("adversary=random seed=77: views diverge:\n%v\n%v", a, b2)
+	}
+}

@@ -14,6 +14,8 @@ package register
 import (
 	"fmt"
 	"sync/atomic"
+
+	"waitfree/internal/sched"
 )
 
 // Register is a single-writer multi-reader atomic register. The zero value
@@ -58,7 +60,16 @@ type Snapshot[T any] struct {
 
 	// collects counts primitive collect operations, for wait-freedom audits.
 	collects atomic.Uint64
+
+	// gate, when set, receives a step point before every primitive collect
+	// and every component store — the register-level granularity of the
+	// deterministic scheduler. nil (the default) is the live Go scheduler.
+	gate sched.Gate
 }
+
+// SetGate installs the step-point gate for deterministic scheduling. It must
+// be called before the object is shared between goroutines.
+func (s *Snapshot[T]) SetGate(g sched.Gate) { s.gate = g }
 
 // NewSnapshot returns a snapshot object with n components, all absent.
 func NewSnapshot[T any](n int) *Snapshot[T] {
@@ -84,6 +95,7 @@ func (s *Snapshot[T]) Update(i int, v T) {
 	if old := s.cells[i].Load(); old != nil {
 		seq = old.seq + 1
 	}
+	sched.Point(s.gate)
 	s.cells[i].Store(&cell[T]{val: v, seq: seq, view: view})
 }
 
@@ -173,6 +185,7 @@ func (s *Snapshot[T]) scan() ([]Entry[T], int) {
 
 // collect reads every component once (not atomic by itself).
 func (s *Snapshot[T]) collect() []*cell[T] {
+	sched.Point(s.gate)
 	s.collects.Add(1)
 	out := make([]*cell[T], len(s.cells))
 	for j := range s.cells {

@@ -1,0 +1,115 @@
+package sched
+
+import "fmt"
+
+// Replay is the adversary used for systematic schedule enumeration: at its
+// i-th decision it picks ready[Choices[i]] (0 when the choice string is
+// exhausted) and records the width of the decision — how many processes were
+// ready. Explore uses the recorded widths to walk the whole schedule tree.
+type Replay struct {
+	Choices []int
+	pos     int
+	widths  []int
+}
+
+// Name implements Adversary; it renders the choice prefix driving this run.
+func (r *Replay) Name() string { return fmt.Sprintf("replay%v", r.Choices) }
+
+// Pick implements Adversary.
+func (r *Replay) Pick(ready, steps []int) int {
+	c := 0
+	if r.pos < len(r.Choices) {
+		c = r.Choices[r.pos]
+	}
+	r.pos++
+	r.widths = append(r.widths, len(ready))
+	if c >= len(ready) {
+		// Stale choice from a shorter sibling branch; clamp deterministically.
+		c = len(ready) - 1
+	}
+	return ready[c]
+}
+
+// Explore enumerates every schedule of a deterministic bounded computation:
+// it repeatedly invokes run with a Replay adversary, using the decision
+// widths recorded by each run to generate the lexicographically next choice
+// string, until the tree is exhausted. run must build fresh state each call,
+// drive a Controller whose Adversary is the given Replay, and return any
+// property violation as an error (which aborts the walk).
+//
+// Explore returns the number of complete schedules executed. limit > 0
+// aborts after that many schedules (an error reports the truncation, so a
+// test can never silently under-explore).
+func Explore(limit int, run func(adv *Replay) error) (int, error) {
+	choices := []int{}
+	count := 0
+	for {
+		r := &Replay{Choices: choices}
+		if err := run(r); err != nil {
+			return count, fmt.Errorf("sched: schedule %v: %w", r.Choices, err)
+		}
+		count++
+		if limit > 0 && count >= limit {
+			return count, fmt.Errorf("sched: exploration truncated at %d schedules", limit)
+		}
+		// The decisions actually taken this run: the explicit prefix, then
+		// default 0s up to the recorded depth.
+		taken := make([]int, len(r.widths))
+		copy(taken, choices)
+		// Backtrack to the deepest decision with an unexplored sibling.
+		i := len(taken) - 1
+		for ; i >= 0; i-- {
+			if taken[i]+1 < r.widths[i] {
+				break
+			}
+		}
+		if i < 0 {
+			return count, nil
+		}
+		choices = append(taken[:i:i], taken[i]+1)
+	}
+}
+
+// Group runs a family of process bodies either under a Controller or, when
+// ctl is nil, as plain goroutines on the live Go scheduler. It is the spawn
+// shim all instrumented runtimes share, so the production path keeps its
+// exact goroutine structure.
+type Group struct {
+	ctl  *Controller
+	done chan struct{}
+	live int
+}
+
+// NewGroup returns a Group over ctl (nil = live execution).
+func NewGroup(ctl *Controller) *Group {
+	return &Group{ctl: ctl, done: make(chan struct{}, 64)}
+}
+
+// Go spawns body as process proc.
+func (g *Group) Go(proc int, body func()) {
+	if g.ctl != nil {
+		g.ctl.Go(proc, body)
+		return
+	}
+	g.live++
+	go func() {
+		defer func() { g.done <- struct{}{} }()
+		body()
+	}()
+}
+
+// Wait blocks until every spawned body finished (live mode) or the schedule
+// ran to completion (controlled mode). In controlled mode it surfaces the
+// Controller's verdict — notably *BudgetError when the step budget ran out.
+func (g *Group) Wait() error {
+	if g.ctl != nil {
+		return g.ctl.Wait()
+	}
+	for i := 0; i < g.live; i++ {
+		<-g.done
+	}
+	return nil
+}
+
+// Controller returns the controller driving this group (nil in live mode).
+func (g *Group) Controller() *Controller { return g.ctl }

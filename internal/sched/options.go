@@ -1,0 +1,40 @@
+package sched
+
+// RunOption is the cross-package option type the concurrent runtimes accept:
+// every Run* entry point takes `opts ...sched.RunOption`, so existing call
+// sites stay source-compatible while tests and the CLI inject a schedule.
+type RunOption func(*RunOpts)
+
+// RunOpts is the resolved option set.
+type RunOpts struct {
+	// Controller drives the run deterministically when non-nil; nil keeps
+	// the live Go scheduler (the production default).
+	Controller *Controller
+}
+
+// Under runs the computation under ctl's deterministic schedule. The caller
+// keeps ownership of ctl for post-run inspection (step counts, crash
+// statuses, the executed trace).
+func Under(ctl *Controller) RunOption {
+	return func(o *RunOpts) { o.Controller = ctl }
+}
+
+// BuildOpts folds a runtime's variadic options.
+func BuildOpts(opts []RunOption) RunOpts {
+	var o RunOpts
+	for _, f := range opts {
+		if f != nil {
+			f(&o)
+		}
+	}
+	return o
+}
+
+// GateOf returns the Gate to thread into shared objects: the controller, or
+// nil for live runs.
+func (o RunOpts) GateOf() Gate {
+	if o.Controller == nil {
+		return nil
+	}
+	return o.Controller
+}

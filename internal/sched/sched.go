@@ -1,0 +1,371 @@
+// Package sched is a deterministic adversarial scheduler for the repo's
+// concurrent runtimes.
+//
+// Wait-freedom is a claim about *every* schedule and *every* crash pattern,
+// but goroutine code normally sees only the interleavings the live Go
+// scheduler happens to produce. This package closes that gap: runtimes are
+// parameterized over a small step-point interface (Gate), and a Controller
+// serializes their goroutines into one explicitly chosen interleaving —
+// seeded pseudo-random, or one of a catalogue of adversary strategies — with
+// crash-fault injection at chosen steps. Schedules are fully reproducible
+// from (adversary name, seed, crash vector), so a failing schedule is a
+// regression test.
+//
+// # The step-point interface
+//
+// Instrumented code calls Point(gate) at each shared-memory step point. A
+// nil gate is a no-op, so production paths pay one nil check and otherwise
+// run on the live Go scheduler unchanged. Under a Controller, Point parks
+// the calling goroutine until the adversary grants it the token; between two
+// grants exactly one process runs, so the code between consecutive step
+// points executes atomically with respect to the other controlled processes.
+//
+// # Mechanics and invariants
+//
+// The Controller hands a single token between goroutines: it grants one
+// process, waits for that process to park at its next step point (or finish,
+// or crash), and only then consults the Adversary again. Crashes are
+// injected by poisoning a grant: the victim's Step call panics with a
+// private sentinel that the Go wrapper recovers, turning the goroutine into
+// a fail-stopped process mid-protocol — exactly the wait-free adversary of
+// the paper.
+//
+// Two rules keep this sound:
+//
+//   - controlled goroutines must be spawned with Controller.Go (or
+//     Group.Go) and must reach step points only from that goroutine;
+//   - no step point may execute while holding a lock another controlled
+//     process can block on (otherwise the token holder could deadlock the
+//     schedule). The instrumented packages in this repo observe this.
+//
+// A step budget (Config.MaxSteps) bounds runs of algorithms that are *not*
+// wait-free under the chosen adversary: when the budget is exhausted every
+// still-live process is crashed and Wait returns a *BudgetError — which is
+// precisely how a test observes "this algorithm does not terminate under
+// this schedule".
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Gate is the step-point interface the concurrent runtimes are parameterized
+// over. Step is called at each shared-memory step point; implementations may
+// park the caller (Controller) or do nothing (live execution).
+type Gate interface {
+	Step()
+}
+
+// Point invokes g.Step() when g is non-nil. It is the instrumentation
+// helper: a nil gate (the default everywhere) costs one branch.
+func Point(g Gate) {
+	if g != nil {
+		g.Step()
+	}
+}
+
+// Yield is Point for spin loops: under a controller it parks at the gate;
+// live, it yields the Go scheduler so peers can make progress.
+func Yield(g Gate) {
+	if g != nil {
+		g.Step()
+		return
+	}
+	runtime.Gosched()
+}
+
+// crashSignal is the sentinel panic injected into a process chosen to crash.
+type crashSignal struct{ proc int }
+
+// Status of a controlled process.
+type Status int
+
+// Process states, in lifecycle order.
+const (
+	StatusNotStarted Status = iota
+	StatusReady             // parked at a step point, eligible to run
+	StatusRunning           // holds the token
+	StatusDone              // body returned
+	StatusCrashed           // fail-stopped by injection or budget exhaustion
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusNotStarted:
+		return "not-started"
+	case StatusReady:
+		return "ready"
+	case StatusRunning:
+		return "running"
+	case StatusDone:
+		return "done"
+	case StatusCrashed:
+		return "crashed"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Config configures a Controller.
+type Config struct {
+	Procs     int       // number of process slots (ids 0 … Procs-1)
+	Adversary Adversary // scheduling strategy; nil = RoundRobin
+
+	// CrashAt[i] ≥ 0 fail-stops process i the moment it attempts its
+	// CrashAt[i]-th step (0-based: CrashAt[i] = 0 crashes it before it
+	// executes any code). Negative or missing = never.
+	CrashAt []int
+
+	// MaxSteps bounds the total number of granted steps; once exceeded,
+	// every live process is crashed and Wait returns a *BudgetError. 0
+	// means DefaultMaxSteps; negative means unlimited.
+	MaxSteps int
+}
+
+// DefaultMaxSteps is the schedule budget applied when Config.MaxSteps is 0 —
+// generous enough for every wait-free runtime in this repo at test sizes,
+// small enough to turn an un-scheduled livelock into a crisp error.
+const DefaultMaxSteps = 1 << 20
+
+type evKind int
+
+const (
+	evPark  evKind = iota // reached a step point (including the initial park)
+	evDone                // body returned
+	evCrash               // crash sentinel recovered
+)
+
+type event struct {
+	proc int
+	kind evKind
+}
+
+// Controller serializes controlled goroutines into one deterministic
+// schedule. It implements Gate; pass it (or hand it to SetGate hooks) as the
+// step-point sink of the runtime under test. A Controller is single-use:
+// spawn with Go, run the schedule with Wait, then inspect.
+type Controller struct {
+	n        int
+	adv      Adversary
+	crashAt  []int
+	maxSteps int
+
+	gates  []chan bool // per-process grant; false poisons the grant (crash)
+	events chan event
+
+	current  int // token holder, valid between grant and next event
+	steps    []int
+	total    int
+	status   []Status
+	spawned  int
+	trace    []int // granted process sequence, for determinism audits
+	finished atomic.Bool
+}
+
+// New returns a Controller for cfg.
+func New(cfg Config) *Controller {
+	if cfg.Procs <= 0 {
+		panic(fmt.Sprintf("sched: New with Procs=%d", cfg.Procs))
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = NewRoundRobin()
+	}
+	crashAt := make([]int, cfg.Procs)
+	for i := range crashAt {
+		crashAt[i] = -1
+		if cfg.CrashAt != nil && i < len(cfg.CrashAt) {
+			crashAt[i] = cfg.CrashAt[i]
+		}
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	c := &Controller{
+		n:        cfg.Procs,
+		adv:      adv,
+		crashAt:  crashAt,
+		maxSteps: maxSteps,
+		gates:    make([]chan bool, cfg.Procs),
+		events:   make(chan event, cfg.Procs),
+		current:  -1,
+		steps:    make([]int, cfg.Procs),
+		status:   make([]Status, cfg.Procs),
+	}
+	for i := range c.gates {
+		c.gates[i] = make(chan bool)
+	}
+	return c
+}
+
+// Go spawns body as controlled process proc. The goroutine parks before
+// executing any of body; it runs only when granted by Wait's scheduling
+// loop. All Go calls must precede Wait.
+func (c *Controller) Go(proc int, body func()) {
+	if proc < 0 || proc >= c.n {
+		panic(fmt.Sprintf("sched: Go with proc %d out of range [0,%d)", proc, c.n))
+	}
+	if c.status[proc] != StatusNotStarted {
+		panic(fmt.Sprintf("sched: process %d spawned twice", proc))
+	}
+	c.status[proc] = StatusReady // set before the goroutine races anywhere
+	c.spawned++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(crashSignal); ok {
+					c.events <- event{proc, evCrash}
+					return
+				}
+				panic(r)
+			}
+		}()
+		// Initial park: wait for the first grant before touching body.
+		c.events <- event{proc, evPark}
+		if alive := <-c.gates[proc]; !alive {
+			panic(crashSignal{proc})
+		}
+		body()
+		c.events <- event{proc, evDone}
+	}()
+}
+
+// Step implements Gate. It must be called from the goroutine currently
+// holding the token; it reports the step point to the controller and parks
+// until the next grant. After Wait has returned (or before any grant), Step
+// is a pass-through no-op so post-run inspection code can reuse gated
+// objects.
+func (c *Controller) Step() {
+	if c.finished.Load() {
+		return
+	}
+	proc := c.current
+	c.events <- event{proc, evPark}
+	if alive := <-c.gates[proc]; !alive {
+		panic(crashSignal{proc})
+	}
+}
+
+// Wait runs the schedule to completion: it repeatedly asks the adversary for
+// the next process, grants it one step, and waits for it to park, finish, or
+// crash. It returns nil when every process is done or crashed by plan, and a
+// *BudgetError when MaxSteps ran out (after crashing all survivors so their
+// goroutines exit).
+func (c *Controller) Wait() error {
+	defer c.finished.Store(true)
+	// Rendezvous: every spawned process parks before the first decision, so
+	// the initial ready set — and hence the whole schedule — is independent
+	// of OS scheduling.
+	for parked := 0; parked < c.spawned; parked++ {
+		<-c.events // necessarily evPark from a distinct process
+	}
+	for {
+		ready := c.readyProcs()
+		if len(ready) == 0 {
+			return nil
+		}
+		if c.maxSteps >= 0 && c.total >= c.maxSteps {
+			for _, p := range ready {
+				c.kill(p)
+			}
+			return &BudgetError{MaxSteps: c.maxSteps, Steps: c.StepCounts(), Starved: ready}
+		}
+		p := c.adv.Pick(ready, c.steps)
+		if !contains(ready, p) {
+			panic(fmt.Sprintf("sched: adversary %s picked %d, not in ready set %v", c.adv.Name(), p, ready))
+		}
+		if c.crashAt[p] >= 0 && c.steps[p] >= c.crashAt[p] {
+			c.kill(p)
+			continue
+		}
+		c.steps[p]++
+		c.total++
+		c.trace = append(c.trace, p)
+		c.status[p] = StatusRunning
+		c.current = p
+		c.gates[p] <- true
+		ev := <-c.events
+		switch ev.kind {
+		case evPark:
+			c.status[ev.proc] = StatusReady
+		case evDone:
+			c.status[ev.proc] = StatusDone
+		case evCrash:
+			c.status[ev.proc] = StatusCrashed
+		}
+	}
+}
+
+// kill poisons proc's next grant and waits for its goroutine to unwind.
+func (c *Controller) kill(p int) {
+	c.gates[p] <- false
+	for {
+		ev := <-c.events
+		if ev.proc == p && ev.kind == evCrash {
+			c.status[p] = StatusCrashed
+			return
+		}
+		// Only p can emit events here (it alone was granted); anything else
+		// is a misuse of the controller.
+		panic(fmt.Sprintf("sched: unexpected event from P%d while crashing P%d", ev.proc, p))
+	}
+}
+
+func (c *Controller) readyProcs() []int {
+	var ready []int
+	for i, s := range c.status {
+		if s == StatusReady {
+			ready = append(ready, i)
+		}
+	}
+	return ready
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// StepCounts returns a copy of the per-process granted-step counts.
+func (c *Controller) StepCounts() []int {
+	return append([]int(nil), c.steps...)
+}
+
+// TotalSteps returns the number of steps granted so far.
+func (c *Controller) TotalSteps() int { return c.total }
+
+// StatusOf returns process p's lifecycle status.
+func (c *Controller) StatusOf(p int) Status { return c.status[p] }
+
+// Crashed reports whether process p was fail-stopped.
+func (c *Controller) Crashed(p int) bool { return c.status[p] == StatusCrashed }
+
+// Trace returns a copy of the granted-process sequence — the schedule
+// actually executed. Two runs with the same adversary state, crash vector,
+// and deterministic bodies produce identical traces; tests assert this.
+func (c *Controller) Trace() []int {
+	return append([]int(nil), c.trace...)
+}
+
+// BudgetError reports a schedule that exhausted its step budget: under the
+// chosen adversary and crash pattern, the starved processes never finished —
+// the observable signature of a non-wait-free execution.
+type BudgetError struct {
+	MaxSteps int
+	Steps    []int
+	Starved  []int // processes crashed by the budget, not by plan
+}
+
+// Error renders the budget violation with the per-process step counts.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sched: step budget %d exhausted; processes %v never finished (per-process steps %v)",
+		e.MaxSteps, e.Starved, e.Steps)
+}

@@ -3,9 +3,9 @@ package tasks
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"waitfree/internal/iis"
+	"waitfree/internal/sched"
 )
 
 // ApproxResult reports the outcome of an approximate agreement run.
@@ -33,7 +33,12 @@ func RoundsForEpsilon(spread, eps float64) int {
 //
 // Survivors' outputs lie within the interval spanned by the original inputs
 // and pairwise within eps of each other.
-func RunApproxAgreement(inputs []float64, eps float64, crashAfter []int) (*ApproxResult, error) {
+//
+// sched.Under(ctl) runs the processes under a deterministic adversarial
+// schedule, gating the iterated memory; a controller-crashed process never
+// reaches its final assignment, so its output stays NaN like any other
+// crashed process.
+func RunApproxAgreement(inputs []float64, eps float64, crashAfter []int, opts ...sched.RunOption) (*ApproxResult, error) {
 	procs := len(inputs)
 	if procs == 0 {
 		return nil, fmt.Errorf("tasks: no inputs")
@@ -45,14 +50,17 @@ func RunApproxAgreement(inputs []float64, eps float64, crashAfter []int) (*Appro
 	}
 	rounds := RoundsForEpsilon(hi-lo, eps)
 
+	ro := sched.BuildOpts(opts)
 	mem := iis.NewMemory[float64](procs)
+	mem.SetGate(ro.GateOf())
 	res := &ApproxResult{Outputs: make([]float64, procs), Rounds: rounds}
+	for i := range res.Outputs {
+		res.Outputs[i] = math.NaN() // decided outputs overwrite this below
+	}
 	errs := make([]error, procs)
-	var wg sync.WaitGroup
+	grp := sched.NewGroup(ro.Controller)
 	for i := 0; i < procs; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		grp.Go(i, func() {
 			limit := rounds
 			crashed := false
 			if crashAfter != nil && i < len(crashAfter) && crashAfter[i] >= 0 && crashAfter[i] < rounds {
@@ -75,14 +83,14 @@ func RunApproxAgreement(inputs []float64, eps float64, crashAfter []int) (*Appro
 				}
 				x = (mn + mx) / 2
 			}
-			if crashed {
-				res.Outputs[i] = math.NaN()
-				return
+			if !crashed {
+				res.Outputs[i] = x
 			}
-			res.Outputs[i] = x
-		}(i)
+		})
 	}
-	wg.Wait()
+	if err := grp.Wait(); err != nil {
+		return res, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

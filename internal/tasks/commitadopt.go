@@ -2,9 +2,9 @@ package tasks
 
 import (
 	"fmt"
-	"sync"
 
 	"waitfree/internal/register"
+	"waitfree/internal/sched"
 )
 
 // CADecision is a commit-adopt outcome: a value plus a grade.
@@ -39,20 +39,25 @@ type caProposal struct {
 //
 // Commit-adopt is not consensus — deciders may adopt different values when
 // nobody commits — which is exactly why it is wait-free solvable.
-func RunCommitAdopt(inputs []int, crashAfter []int) ([]CADecision, error) {
+//
+// sched.Under(ctl) runs the processes under a deterministic adversarial
+// schedule (with the snapshot objects gated at register granularity);
+// controller-injected crashes leave Decided=false, like crashAfter ones.
+func RunCommitAdopt(inputs []int, crashAfter []int, opts ...sched.RunOption) ([]CADecision, error) {
 	procs := len(inputs)
 	if procs == 0 {
 		return nil, fmt.Errorf("tasks: no inputs")
 	}
+	ro := sched.BuildOpts(opts)
 	round1 := register.NewSnapshot[int](procs)
 	round2 := register.NewSnapshot[caProposal](procs)
+	round1.SetGate(ro.GateOf())
+	round2.SetGate(ro.GateOf())
 	out := make([]CADecision, procs)
 
-	var wg sync.WaitGroup
+	grp := sched.NewGroup(ro.Controller)
 	for i := 0; i < procs; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		grp.Go(i, func() {
 			limit := -1
 			if crashAfter != nil && i < len(crashAfter) {
 				limit = crashAfter[i]
@@ -97,9 +102,11 @@ func RunCommitAdopt(inputs []int, crashAfter []int) ([]CADecision, error) {
 			default:
 				out[i] = CADecision{Val: inputs[i], Decided: true}
 			}
-		}(i)
+		})
 	}
-	wg.Wait()
+	if err := grp.Wait(); err != nil {
+		return out, err
+	}
 	return out, nil
 }
 

@@ -3,9 +3,9 @@ package tasks
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"waitfree/internal/register"
+	"waitfree/internal/sched"
 )
 
 // renameState is what a process publishes while renaming: its original id
@@ -32,19 +32,23 @@ type RenamingResult struct {
 // {1, …, 2p−1}. participate[i] = false models a process that crashed before
 // taking any step; crashAfter[i] ≥ 0 crashes process i after that many scan
 // iterations.
-func RunRenaming(procs int, participate []bool, crashAfter []int) (*RenamingResult, error) {
+//
+// sched.Under(ctl) runs the processes under a deterministic adversarial
+// schedule; controller-injected crashes leave Names[i] = 0, like the other
+// crash knobs.
+func RunRenaming(procs int, participate []bool, crashAfter []int, opts ...sched.RunOption) (*RenamingResult, error) {
+	ro := sched.BuildOpts(opts)
 	snap := register.NewSnapshot[renameState](procs)
+	snap.SetGate(ro.GateOf())
 	res := &RenamingResult{Names: make([]int, procs), Steps: make([]int, procs)}
 	errs := make([]error, procs)
 
-	var wg sync.WaitGroup
+	grp := sched.NewGroup(ro.Controller)
 	for i := 0; i < procs; i++ {
 		if participate != nil && i < len(participate) && !participate[i] {
 			continue
 		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		grp.Go(i, func() {
 			limit := -1
 			if crashAfter != nil && i < len(crashAfter) {
 				limit = crashAfter[i]
@@ -103,9 +107,11 @@ func RunRenaming(procs int, participate []bool, crashAfter []int) (*RenamingResu
 				}
 				proposal = name
 			}
-		}(i)
+		})
 	}
-	wg.Wait()
+	if err := grp.Wait(); err != nil {
+		return res, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

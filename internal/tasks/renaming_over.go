@@ -5,9 +5,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"waitfree/internal/core"
+	"waitfree/internal/sched"
 )
 
 // RunRenamingOver runs the same wait-free renaming algorithm as RunRenaming
@@ -18,19 +18,25 @@ import (
 // counts: the process keeps writing proposals (with increasing sequence
 // numbers) and snapshotting until its proposal is uncontested.
 //
-// participate and crashAfter behave as in RunRenaming.
-func RunRenamingOver(mem core.ShotMemory, procs int, participate []bool, crashAfter []int) (*RenamingResult, error) {
+// participate and crashAfter behave as in RunRenaming. sched.Under(ctl)
+// runs the processes under a deterministic adversarial schedule, gating the
+// memory when it supports core.GatedMemory (both built-in memories do).
+func RunRenamingOver(mem core.ShotMemory, procs int, participate []bool, crashAfter []int, opts ...sched.RunOption) (*RenamingResult, error) {
+	ro := sched.BuildOpts(opts)
+	if ro.Controller != nil {
+		if gm, ok := mem.(core.GatedMemory); ok {
+			gm.SetGate(ro.Controller)
+		}
+	}
 	res := &RenamingResult{Names: make([]int, procs), Steps: make([]int, procs)}
 	errs := make([]error, procs)
 
-	var wg sync.WaitGroup
+	grp := sched.NewGroup(ro.Controller)
 	for i := 0; i < procs; i++ {
 		if participate != nil && i < len(participate) && !participate[i] {
 			continue
 		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		grp.Go(i, func() {
 			limit := -1
 			if crashAfter != nil && i < len(crashAfter) {
 				limit = crashAfter[i]
@@ -94,9 +100,11 @@ func RunRenamingOver(mem core.ShotMemory, procs int, participate []bool, crashAf
 				}
 				proposal = name
 			}
-		}(i)
+		})
 	}
-	wg.Wait()
+	if err := grp.Wait(); err != nil {
+		return res, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

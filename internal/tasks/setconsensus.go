@@ -2,10 +2,9 @@ package tasks
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"waitfree/internal/register"
+	"waitfree/internal/sched"
 )
 
 // SetConsensusResult reports the outcome of an f-resilient set consensus
@@ -26,7 +25,14 @@ type SetConsensusResult struct {
 // characterization (and the impossibility of wait-free k-set consensus for
 // k < procs) explains. crashed[i] marks processes that never start; at most
 // f may be crashed or the survivors would wait forever.
-func RunFResilientSetConsensus(inputs []int, f int, crashed []bool) (*SetConsensusResult, error) {
+//
+// sched.Under(ctl) runs the processes under a deterministic adversarial
+// schedule. Controller-injected crashes count against the same resilience:
+// if the controller kills more than f processes before they publish their
+// inputs, survivors spin until the step budget fail-stops them and Wait
+// reports a *sched.BudgetError — the observable form of "f-resilient is not
+// wait-free".
+func RunFResilientSetConsensus(inputs []int, f int, crashed []bool, opts ...sched.RunOption) (*SetConsensusResult, error) {
 	procs := len(inputs)
 	nCrashed := 0
 	for _, c := range crashed {
@@ -38,17 +44,17 @@ func RunFResilientSetConsensus(inputs []int, f int, crashed []bool) (*SetConsens
 		return nil, fmt.Errorf("tasks: %d crashes exceed resilience f=%d (the run would block)", nCrashed, f)
 	}
 
+	ro := sched.BuildOpts(opts)
 	snap := register.NewSnapshot[int](procs)
+	snap.SetGate(ro.GateOf())
 	res := &SetConsensusResult{Decisions: make([]int, procs), Scans: make([]int, procs)}
-	var wg sync.WaitGroup
+	grp := sched.NewGroup(ro.Controller)
 	for i := 0; i < procs; i++ {
 		res.Decisions[i] = -1
 		if crashed != nil && i < len(crashed) && crashed[i] {
 			continue
 		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		grp.Go(i, func() {
 			snap.Update(i, inputs[i])
 			for {
 				res.Scans[i]++
@@ -68,11 +74,13 @@ func RunFResilientSetConsensus(inputs []int, f int, crashed []bool) (*SetConsens
 					res.Decisions[i] = min
 					return
 				}
-				runtime.Gosched()
+				sched.Yield(ro.GateOf())
 			}
-		}(i)
+		})
 	}
-	wg.Wait()
+	if err := grp.Wait(); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 

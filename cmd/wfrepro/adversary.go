@@ -1,250 +1,86 @@
 package main
 
 import (
-	"errors"
 	"fmt"
-	"math"
+	"os"
 	"strconv"
 	"strings"
 
-	"waitfree/internal/bg"
-	"waitfree/internal/core"
-	"waitfree/internal/protocol"
+	"waitfree/internal/engine"
 	"waitfree/internal/sched"
-	"waitfree/internal/tasks"
 )
 
 // cmdAdversary runs one concurrent runtime under a chosen deterministic
 // adversary schedule with optional crash injection, and reports the schedule
 // decisions, per-process step counts, and the (validated) outcome. The same
 // flags always reproduce the same execution — a failing combination is a
-// regression test in one line.
+// regression test in one line. The replay itself lives in the engine
+// (engine.RunAdversary), shared with the /v1/adversary service endpoint.
 func cmdAdversary(args []string) error {
 	fs := newFlagSet("adversary")
 	algo := fs.String("algo", "commitadopt",
-		"runtime to schedule: commitadopt|setconsensus|renaming|renaming-emulated|approx|fullinfo|bg")
+		"runtime to schedule: "+strings.Join(engine.AdversaryAlgos(), "|"))
 	advName := fs.String("adv", "round-robin", "adversary: "+strings.Join(sched.AdversaryNames(), ", "))
 	seed := fs.Int64("seed", 1, "seed for the random adversary")
 	n := fs.Int("n", 3, "number of processes")
 	crash := fs.String("crash", "", "comma-separated crash steps per process, -1 = never (e.g. 2,-1,4)")
 	maxSteps := fs.Int("maxsteps", 0, "step budget (0 = default, negative = unlimited)")
+	asJSON := fs.Bool("json", false, "emit the /v1/adversary response JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *n < 1 {
-		return fmt.Errorf("need at least one process")
-	}
-	crashAt, err := parseCrashVector(*crash, *n)
+	crashAt, err := engine.ParseCrashVector(*crash, *n)
 	if err != nil {
 		return err
 	}
-	adv, err := sched.NewAdversary(*advName, *seed, *n)
+	resp, err := engine.RunAdversary(engine.AdversaryRequest{
+		Algo:      *algo,
+		Adversary: *advName,
+		Seed:      *seed,
+		Procs:     *n,
+		Crash:     crashAt,
+		MaxSteps:  *maxSteps,
+	})
 	if err != nil {
 		return err
 	}
-	ctl := sched.New(sched.Config{Procs: *n, Adversary: adv, CrashAt: crashAt, MaxSteps: *maxSteps})
+	if *asJSON {
+		return engine.WriteJSON(os.Stdout, resp)
+	}
 
 	fmt.Printf("deterministic schedule: algo=%s adversary=%s seed=%d procs=%d crash=%v\n",
-		*algo, adv.Name(), *seed, *n, crashAt)
-
-	var outcome, memories string
-	var runErr error
-	switch *algo {
-	case "commitadopt":
-		inputs := make([]int, *n)
-		for i := range inputs {
-			inputs[i] = 10 * (1 + i%2) // mixed inputs: commit is not forced
-		}
-		var out []tasks.CADecision
-		out, runErr = tasks.RunCommitAdopt(inputs, nil, sched.Under(ctl))
-		if runErr == nil {
-			if err := tasks.ValidateCommitAdopt(inputs, out); err != nil {
-				return err
-			}
-		}
-		parts := make([]string, len(out))
-		for i, d := range out {
-			switch {
-			case !d.Decided:
-				parts[i] = "crashed"
-			case d.Committed:
-				parts[i] = fmt.Sprintf("COMMIT %d", d.Val)
-			default:
-				parts[i] = fmt.Sprintf("adopt %d", d.Val)
-			}
-		}
-		outcome = strings.Join(parts, ", ")
-		memories = "2 atomic snapshot objects (register granularity)"
-	case "setconsensus":
-		inputs := make([]int, *n)
-		for i := range inputs {
-			inputs[i] = i + 1
-		}
-		f := crashes(crashAt)
-		if f == 0 {
-			f = 1
-		}
-		var res *tasks.SetConsensusResult
-		res, runErr = tasks.RunFResilientSetConsensus(inputs, f, nil, sched.Under(ctl))
-		if res != nil {
-			if err := tasks.ValidateSetConsensus(inputs, res, f+1); err != nil {
-				return err
-			}
-			outcome = fmt.Sprintf("decisions=%v scans=%v (f=%d, ≤%d distinct)", res.Decisions, res.Scans, f, f+1)
-		}
-		memories = "1 atomic snapshot object (register granularity)"
-	case "renaming":
-		var res *tasks.RenamingResult
-		res, runErr = tasks.RunRenaming(*n, nil, nil, sched.Under(ctl))
-		if runErr == nil {
-			if err := tasks.ValidateRenaming(res, *n); err != nil {
-				return err
-			}
-			outcome = fmt.Sprintf("names=%v (bound %d) iterations=%v", res.Names, 2**n-1, res.Steps)
-		}
-		memories = "1 atomic snapshot object (register granularity)"
-	case "renaming-emulated":
-		var res *tasks.RenamingResult
-		res, runErr = tasks.RunRenamingOver(core.NewEmulatedMemory(*n), *n, nil, nil, sched.Under(ctl))
-		if runErr == nil {
-			if err := tasks.ValidateRenaming(res, *n); err != nil {
-				return err
-			}
-			outcome = fmt.Sprintf("names=%v (bound %d) shots=%v", res.Names, 2**n-1, res.Steps)
-		}
-		memories = "iterated immediate snapshot memory via the Figure-2 emulation"
-	case "approx":
-		inputs := make([]float64, *n)
-		for i := range inputs {
-			inputs[i] = float64(i) / float64(*n)
-		}
-		const eps = 0.05
-		var res *tasks.ApproxResult
-		res, runErr = tasks.RunApproxAgreement(inputs, eps, nil, sched.Under(ctl))
-		if runErr == nil {
-			if err := tasks.ValidateApprox(inputs, res, eps); err != nil {
-				return err
-			}
-			parts := make([]string, len(res.Outputs))
-			for i, x := range res.Outputs {
-				if math.IsNaN(x) {
-					parts[i] = "crashed"
-				} else {
-					parts[i] = fmt.Sprintf("%.4f", x)
-				}
-			}
-			outcome = fmt.Sprintf("outputs=[%s] (ε=%g)", strings.Join(parts, " "), eps)
-			memories = fmt.Sprintf("%d-round iterated immediate snapshot memory", res.Rounds)
-		}
-	case "fullinfo":
-		const b = 2
-		var res *protocol.RunResult
-		res, runErr = protocol.RunFullInfo(*n, b, nil, sched.Under(ctl))
-		if res != nil {
-			parts := make([]string, len(res.Keys))
-			for i, k := range res.Keys {
-				if k == "" {
-					k = "crashed"
-				}
-				parts[i] = k
-			}
-			outcome = fmt.Sprintf("SDS^%d views: %s", b, strings.Join(parts, ", "))
-		}
-		memories = fmt.Sprintf("%d-round iterated immediate snapshot memory", b)
-	case "bg":
-		inputs := make([]int, *n)
-		for i := range inputs {
-			inputs[i] = 10 * (i + 1)
-		}
-		f := *n - 1 // tolerate any proper subset of simulator crashes
-		sim := bg.NewSimulation(*n, *n+2, &bg.SetConsensusCode{MProc: *n + 2, F: f, Inputs: inputs})
-		var res *bg.Result
-		res, runErr = sim.RunAllScheduled(nil, sched.Under(ctl))
-		if res != nil {
-			outcome = fmt.Sprintf("adopted=%v simulated=%v", res.Adopted, res.Simulated)
-		}
-		memories = "1 board snapshot + per-(process,step) safe agreement objects"
-	default:
-		return fmt.Errorf("unknown algo %q", *algo)
-	}
-
-	var be *sched.BudgetError
-	if runErr != nil && !errors.As(runErr, &be) {
-		return runErr
-	}
-
-	fmt.Printf("  schedule decisions: %d total, per-process steps %v\n", ctl.TotalSteps(), ctl.StepCounts())
-	fmt.Printf("  trace prefix: %s\n", traceString(ctl.Trace(), 48))
-	statuses := make([]string, *n)
-	for p := 0; p < *n; p++ {
-		statuses[p] = fmt.Sprintf("P%d=%s", p, ctl.StatusOf(p))
+		resp.Algo, resp.Adversary, resp.Seed, resp.Procs, resp.Crash)
+	fmt.Printf("  schedule decisions: %d total, per-process steps %v\n", resp.TotalSteps, resp.StepCounts)
+	fmt.Printf("  trace prefix: %s\n", traceString(resp.TracePrefix, resp.TraceLen))
+	statuses := make([]string, len(resp.Statuses))
+	for p, s := range resp.Statuses {
+		statuses[p] = fmt.Sprintf("P%d=%s", p, s)
 	}
 	fmt.Printf("  statuses: %s\n", strings.Join(statuses, " "))
-	fmt.Printf("  memories: %s\n", memories)
-	if be != nil {
-		fmt.Printf("  VERDICT: not wait-free under this schedule — %v\n", be)
+	fmt.Printf("  memories: %s\n", resp.Memories)
+	if !resp.WaitFree {
+		fmt.Printf("  VERDICT: not wait-free under this schedule — %s\n", resp.Budget)
 		return nil
 	}
-	fmt.Printf("  outcome: %s\n", outcome)
+	fmt.Printf("  outcome: %s\n", resp.Outcome)
 	return nil
 }
 
-// parseCrashVector parses "2,-1,4" into a CrashAt vector of length n.
-func parseCrashVector(s string, n int) ([]int, error) {
-	if s == "" {
-		return nil, nil
+// traceString renders a granted-process prefix; totalLen is the full trace
+// length, so a truncated prefix reports how much was elided.
+func traceString(prefix []int, totalLen int) string {
+	if totalLen == 0 {
+		return "(empty)"
 	}
-	fields := strings.Split(s, ",")
-	if len(fields) > n {
-		return nil, fmt.Errorf("crash vector has %d entries for %d processes", len(fields), n)
-	}
-	out := make([]int, n)
-	for i := range out {
-		out[i] = -1
-	}
-	live := 0
-	for i, f := range fields {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return nil, fmt.Errorf("bad crash entry %q: %w", f, err)
-		}
-		out[i] = v
-		if v < 0 {
-			live++
-		}
-	}
-	live += n - len(fields)
-	if live == 0 {
-		return nil, fmt.Errorf("crash vector %v crashes every process; wait-freedom is about proper subsets", out)
-	}
-	return out, nil
-}
-
-func crashes(crashAt []int) int {
-	c := 0
-	for _, v := range crashAt {
-		if v >= 0 {
-			c++
-		}
-	}
-	return c
-}
-
-// traceString renders a granted-process sequence, truncated for display.
-func traceString(trace []int, limit int) string {
 	var b strings.Builder
-	for i, p := range trace {
-		if i == limit {
-			fmt.Fprintf(&b, "… (%d more)", len(trace)-limit)
-			break
-		}
+	for i, p := range prefix {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
 		b.WriteString(strconv.Itoa(p))
 	}
-	if len(trace) == 0 {
-		return "(empty)"
+	if totalLen > len(prefix) {
+		fmt.Fprintf(&b, " … (%d more)", totalLen-len(prefix))
 	}
 	return b.String()
 }

@@ -2,23 +2,36 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"waitfree/internal/converge"
+	"waitfree/internal/engine"
 	"waitfree/internal/topology"
 )
 
 // cmdConverge reproduces Theorem 5.1: find a color- and carrier-preserving
 // simplicial map SDS^k(sⁿ) → A for a sample chromatic subdivision A, then
 // run distributed chromatic simplex agreement (CSASS) over the real IIS
-// runtime using that map.
+// runtime using that map. With -json it answers the map-search query through
+// the engine and emits exactly the /v1/converge response bytes.
 func cmdConverge(args []string) error {
 	fs := newFlagSet("converge")
 	n := fs.Int("n", 2, "dimension (processes − 1)")
 	target := fs.Int("target", 1, "target subdivision A = SDS^target(sⁿ)")
 	trials := fs.Int("trials", 10, "distributed agreement runs")
 	maxK := fs.Int("maxk", 3, "maximum level to search")
+	asJSON := fs.Bool("json", false, "emit the /v1/converge response JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *asJSON {
+		resp, err := engine.New(engine.Options{}).Converge(engine.ConvergeRequest{
+			N: *n, Target: *target, MaxK: *maxK,
+		})
+		if err != nil {
+			return err
+		}
+		return engine.WriteJSON(os.Stdout, resp)
 	}
 
 	base := topology.Simplex(*n)

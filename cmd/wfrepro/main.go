@@ -50,6 +50,7 @@ func run(args []string) error {
 		"modelcheck": cmdModelCheck,
 		"sperner":    cmdSperner,
 		"ncsac":      cmdNCSAC,
+		"serve":      cmdServe,
 		"all":        cmdAll,
 	}
 	cmd, ok := cmds[args[0]]
@@ -77,6 +78,7 @@ commands:
   modelcheck exhaustive interleavings of the participating-set algorithm
   sperner    random Sperner labelings of SDS^b (odd panchromatic counts)
   ncsac      non-chromatic simplex agreement over a path (sec. 5)
+  serve      HTTP query service: cached solvability/complex/converge/adversary
   all        run every experiment in sequence`)
 }
 

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"waitfree/internal/engine"
+	"waitfree/internal/serve"
+)
+
+// cmdServe runs the solvability query service: the engine behind every
+// -json subcommand, exposed over HTTP with caching, dedup, and metrics.
+func cmdServe(args []string) error {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	cacheSize := fs.Int("cache", engine.DefaultCacheSize, "in-memory cache entries")
+	spill := fs.String("spill", "", "directory for the gob spill-to-disk tier (empty = memory only)")
+	workers := fs.Int("workers", 0, "subdivision/solver workers (0 = NumCPU)")
+	maxconc := fs.Int("maxconc", serve.DefaultMaxConcurrent, "max concurrent requests")
+	timeout := fs.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	eng := engine.New(engine.Options{CacheSize: *cacheSize, SpillDir: *spill, Workers: *workers})
+	srv := serve.NewServer(eng, serve.Options{MaxConcurrent: *maxconc, Timeout: *timeout})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- serve.Run(ctx, *addr, srv, ready) }()
+	select {
+	case bound := <-ready:
+		fmt.Printf("wfrepro serve: listening on http://%s (cache=%d workers=%d maxconc=%d timeout=%s)\n",
+			bound, *cacheSize, *workers, *maxconc, *timeout)
+	case err := <-errc:
+		return err
+	}
+	err := <-errc
+	if err == nil {
+		fmt.Println("wfrepro serve: drained, bye")
+	}
+	return err
+}

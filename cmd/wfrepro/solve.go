@@ -2,18 +2,38 @@ package main
 
 import (
 	"fmt"
+	"os"
 
+	"waitfree/internal/engine"
 	"waitfree/internal/solver"
 	"waitfree/internal/tasks"
 )
 
 // cmdSolve reproduces Proposition 3.1 as a decision procedure: it reports
 // solvability verdicts for the classic tasks at bounded subdivision levels.
+// With -json it answers one query through the engine and emits exactly the
+// /v1/solve response bytes.
 func cmdSolve(args []string) error {
 	fs := newFlagSet("solve")
 	maxB := fs.Int("maxb", 2, "maximum subdivision level to check")
+	asJSON := fs.Bool("json", false, "emit the /v1/solve response JSON for one query (requires -family)")
+	family := fs.String("family", "", "task family for -json: one of "+fmt.Sprint(engine.Families()))
+	procs := fs.Int("procs", 0, "processes for -json")
+	k := fs.Int("k", 0, "set-consensus k for -json")
+	d := fs.Int("d", 0, "approx-agreement denominator for -json (ε = 1/d)")
+	m := fs.Int("m", 0, "renaming namespace parameter for -json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *asJSON {
+		resp, err := engine.New(engine.Options{}).Solve(engine.SolveRequest{
+			Spec:     engine.TaskSpec{Family: *family, Procs: *procs, K: *k, D: *d, M: *m},
+			MaxLevel: *maxB,
+		})
+		if err != nil {
+			return err
+		}
+		return engine.WriteJSON(os.Stdout, resp)
 	}
 
 	type job struct {

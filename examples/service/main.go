@@ -1,0 +1,86 @@
+// The service example reproduces the E6 verdict table over HTTP: it starts
+// an in-process engine server (or points at one you already launched with
+// `wfrepro serve -addr ...`), asks /v1/solve for the three headline tasks —
+// consensus, 2-set consensus, ε-agreement — twice each, and shows the
+// content-addressed cache turning the second round of questions into hits.
+//
+//	go run ./examples/service            # self-hosted, ephemeral port
+//	go run ./examples/service -addr localhost:8080
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"waitfree/internal/engine"
+	"waitfree/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "address of a running `wfrepro serve` (empty = start one in-process)")
+	flag.Parse()
+
+	base := "http://" + *addr
+	if *addr == "" {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		s := serve.NewServer(engine.New(engine.Options{}), serve.Options{})
+		ready := make(chan string, 1)
+		go func() {
+			if err := serve.Run(ctx, "127.0.0.1:0", s, ready); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		base = "http://" + <-ready
+		fmt.Printf("started in-process service at %s\n\n", base)
+	}
+
+	queries := []struct {
+		label string
+		path  string
+	}{
+		{"consensus (2 procs)", "/v1/solve?family=consensus&procs=2&maxb=2"},
+		{"2-set consensus (3 procs)", "/v1/solve?family=set-consensus&procs=3&k=2&maxb=1"},
+		{"ε-agreement (ε = 1/2)", "/v1/solve?family=approx-agreement&d=2&maxb=2"},
+	}
+
+	fmt.Println("E6 verdict table via /v1/solve (cold, then warm):")
+	for round := 1; round <= 2; round++ {
+		for _, q := range queries {
+			start := time.Now()
+			var resp engine.SolveResponse
+			getJSON(base+q.path, &resp)
+			fmt.Printf("  [round %d] %-28s %-46s %8s\n", round, q.label, resp.Verdict, time.Since(start).Round(time.Microsecond))
+		}
+	}
+
+	var metrics map[string]any
+	getJSON(base+"/metrics", &metrics)
+	fmt.Printf("\ncache after both rounds: hits=%v misses=%v deduped=%v\n",
+		metrics["cache_hits"], metrics["cache_misses"], metrics["deduped"])
+	fmt.Println("the warm round answered every query from the content-addressed store.")
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %d %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		log.Fatalf("%s: %v", url, err)
+	}
+}

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// benchReq is moderately expensive cold (two subdivision levels plus an
+// exhaustive unsolvability proof) so the warm/cold ratio is meaningful.
+var benchReq = SolveRequest{Spec: TaskSpec{Family: "consensus", Procs: 2}, MaxLevel: 2}
+
+// BenchmarkEngineSolveCold measures a full computation: fresh engine per
+// iteration, nothing cached.
+func BenchmarkEngineSolveCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(Options{}).Solve(benchReq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSolveWarm measures a content-address hit: one engine,
+// verdict cached before the timer starts.
+func BenchmarkEngineSolveWarm(b *testing.B) {
+	e := New(Options{})
+	if _, err := e.Solve(benchReq); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(benchReq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSolveConcurrent measures 8 clients hammering one engine
+// with a mix of queries; after the first round everything is singleflight-
+// deduped or cache-hit.
+func BenchmarkEngineSolveConcurrent(b *testing.B) {
+	e := New(Options{})
+	reqs := []SolveRequest{
+		benchReq,
+		{Spec: TaskSpec{Family: "approx-agreement", D: 2}, MaxLevel: 2},
+		{Spec: TaskSpec{Family: "set-consensus", Procs: 3, K: 2}, MaxLevel: 1},
+		{Spec: TaskSpec{Family: "set-consensus", Procs: 3, K: 3}, MaxLevel: 0},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < 8; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				if _, err := e.Solve(reqs[c%len(reqs)]); err != nil {
+					b.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+}

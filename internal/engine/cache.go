@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// hashString is the engine's content address: hex SHA-256 of a canonical
+// encoding. Equal canonical encodings hash equal; distinct encodings
+// collide with cryptographic improbability.
+func hashString(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// cacheCodec (de)serializes one kind of cached artifact for spill-to-disk.
+// Kinds are addressed by the key prefix up to the first ':' ("sds",
+// "solve", "conv", "adv").
+type cacheCodec struct {
+	encode func(any) ([]byte, error)
+	decode func([]byte) (any, error)
+}
+
+// Cache is an LRU-bounded, content-addressed store. Values are live Go
+// objects (complexes are reused directly by later computations); when a
+// spill directory is configured, evicted entries with a registered codec
+// are written as gob files and transparently rehydrated on the next miss.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recent
+	items   map[string]*list.Element
+	spill   string
+	codecs  map[string]cacheCodec
+	metrics *Metrics
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache returns a cache holding at most max entries in memory (max ≤ 0
+// means DefaultCacheSize). spillDir == "" disables the disk tier.
+func NewCache(max int, spillDir string, m *Metrics) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &Cache{
+		max:     max,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		spill:   spillDir,
+		codecs:  make(map[string]cacheCodec),
+		metrics: m,
+	}
+}
+
+// registerCodec installs the spill codec for a key-kind prefix.
+func (c *Cache) registerCodec(kind string, enc func(any) ([]byte, error), dec func([]byte) (any, error)) {
+	c.codecs[kind] = cacheCodec{encode: enc, decode: dec}
+}
+
+func kindOf(key string) string {
+	if i := strings.IndexByte(key, ':'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+func (c *Cache) spillPath(key string) string {
+	return filepath.Join(c.spill, kindOf(key)+"-"+hashString(key)+".gob")
+}
+
+// Get returns the value stored under key, consulting the disk tier on an
+// in-memory miss. It does not count query-level hit/miss metrics — the
+// engine does, at whole-query granularity.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+	if c.spill == "" {
+		return nil, false
+	}
+	codec, ok := c.codecs[kindOf(key)]
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.spillPath(key))
+	if err != nil {
+		return nil, false
+	}
+	v, err := codec.decode(data)
+	if err != nil {
+		return nil, false
+	}
+	c.metrics.CacheDiskHits.Add(1)
+	c.Put(key, v)
+	return v, true
+}
+
+// Put stores a value, evicting (and spilling) the least recently used
+// entries beyond the capacity bound.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	var evicted []*cacheEntry
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.metrics.CacheEvictions.Add(1)
+		evicted = append(evicted, ent)
+	}
+	c.mu.Unlock()
+	for _, ent := range evicted {
+		c.spillEntry(ent)
+	}
+}
+
+func (c *Cache) spillEntry(ent *cacheEntry) {
+	if c.spill == "" {
+		return
+	}
+	codec, ok := c.codecs[kindOf(ent.key)]
+	if !ok {
+		return
+	}
+	data, err := codec.encode(ent.val)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(c.spill, 0o755); err != nil {
+		return
+	}
+	tmp := c.spillPath(ent.key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, c.spillPath(ent.key)); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	c.metrics.CacheSpills.Add(1)
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Keys returns the in-memory keys, most recent first (for tests/debugging).
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}

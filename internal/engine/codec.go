@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+
+	"waitfree/internal/solver"
+	"waitfree/internal/topology"
+)
+
+// ComplexDTO is the serializable form of a topology.Complex: the vertex
+// table in index order (keys, colors, carriers as base vertex ids) plus the
+// facet lists, with the base chain encoded recursively. Round-tripping
+// preserves vertex numbering, colors, carriers, and the f-vector.
+type ComplexDTO struct {
+	Verts  []VertexDTO `json:"verts"`
+	Facets [][]int     `json:"facets"`
+	Base   *ComplexDTO `json:"base,omitempty"`
+}
+
+// VertexDTO is one vertex record of a ComplexDTO.
+type VertexDTO struct {
+	Key     string `json:"key"`
+	Color   int    `json:"color"`
+	Carrier []int  `json:"carrier,omitempty"` // base vertex ids; set iff the complex is a subdivision
+}
+
+// ComplexToDTO encodes a sealed complex (and its base chain).
+func ComplexToDTO(c *topology.Complex) *ComplexDTO {
+	d := &ComplexDTO{}
+	if b := c.Base(); b != nil {
+		d.Base = ComplexToDTO(b)
+	}
+	d.Verts = make([]VertexDTO, c.NumVertices())
+	for v := 0; v < c.NumVertices(); v++ {
+		rec := VertexDTO{Key: c.Key(topology.Vertex(v)), Color: c.Color(topology.Vertex(v))}
+		if c.Base() != nil {
+			carrier := c.Carrier(topology.Vertex(v))
+			rec.Carrier = make([]int, len(carrier))
+			for i, w := range carrier {
+				rec.Carrier[i] = int(w)
+			}
+		}
+		d.Verts[v] = rec
+	}
+	for _, f := range c.Facets() {
+		facet := make([]int, len(f))
+		for i, v := range f {
+			facet[i] = int(v)
+		}
+		d.Facets = append(d.Facets, facet)
+	}
+	return d
+}
+
+// ComplexFromDTO rebuilds the complex (and its base chain). The rebuilt
+// complex is vertex-for-vertex identical to the encoded one.
+func ComplexFromDTO(d *ComplexDTO) (*topology.Complex, error) {
+	var c *topology.Complex
+	var base *topology.Complex
+	if d.Base != nil {
+		var err error
+		base, err = ComplexFromDTO(d.Base)
+		if err != nil {
+			return nil, err
+		}
+		c = topology.NewSubdivision(base)
+	} else {
+		c = topology.NewComplex()
+	}
+	for i, rec := range d.Verts {
+		v, err := c.AddVertex(rec.Key, rec.Color)
+		if err != nil {
+			return nil, fmt.Errorf("engine: decode vertex %d: %w", i, err)
+		}
+		if int(v) != i {
+			return nil, fmt.Errorf("engine: duplicate vertex key %q at index %d", rec.Key, i)
+		}
+		if base != nil {
+			carrier := make([]topology.Vertex, len(rec.Carrier))
+			for j, w := range rec.Carrier {
+				if w < 0 || w >= base.NumVertices() {
+					return nil, fmt.Errorf("engine: vertex %d carrier id %d out of range", i, w)
+				}
+				carrier[j] = topology.Vertex(w)
+			}
+			c.SetCarrier(v, carrier)
+		}
+	}
+	for _, f := range d.Facets {
+		facet := make([]topology.Vertex, len(f))
+		for i, v := range f {
+			facet[i] = topology.Vertex(v)
+		}
+		if err := c.AddSimplex(facet...); err != nil {
+			return nil, fmt.Errorf("engine: decode facet: %w", err)
+		}
+	}
+	return c.Seal(), nil
+}
+
+// EncodeComplexGob / DecodeComplexGob are the spill codec for "sds" cache
+// entries.
+func EncodeComplexGob(c *topology.Complex) ([]byte, error) { return gobEncode(ComplexToDTO(c)) }
+
+// DecodeComplexGob rehydrates a complex from its gob DTO.
+func DecodeComplexGob(data []byte) (*topology.Complex, error) {
+	var d ComplexDTO
+	if err := gobDecode(data, &d); err != nil {
+		return nil, err
+	}
+	return ComplexFromDTO(&d)
+}
+
+// EncodeComplexJSON / DecodeComplexJSON mirror the gob codec for clients
+// that want a readable artifact.
+func EncodeComplexJSON(c *topology.Complex) ([]byte, error) {
+	return json.Marshal(ComplexToDTO(c))
+}
+
+// DecodeComplexJSON rehydrates a complex from its JSON DTO.
+func DecodeComplexJSON(data []byte) (*topology.Complex, error) {
+	var d ComplexDTO
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	return ComplexFromDTO(&d)
+}
+
+// ResultDTO is the serializable form of a solver.Result: the spec that
+// built the task, the verdict, and — when solvable — the decision map image
+// and the subdivision it is defined on.
+type ResultDTO struct {
+	Spec        TaskSpec    `json:"spec"`
+	Level       int         `json:"level"`
+	Solvable    bool        `json:"solvable"`
+	Nodes       int64       `json:"nodes"`
+	Image       []int       `json:"image,omitempty"`
+	Subdivision *ComplexDTO `json:"subdivision,omitempty"`
+}
+
+// ResultToDTO encodes a solver result produced for the given spec.
+func ResultToDTO(spec TaskSpec, r *solver.Result) *ResultDTO {
+	d := &ResultDTO{Spec: spec, Level: r.Level, Solvable: r.Solvable, Nodes: r.Nodes}
+	if r.Subdivision != nil {
+		d.Subdivision = ComplexToDTO(r.Subdivision)
+	}
+	if r.Map != nil {
+		d.Image = make([]int, len(r.Map.Image))
+		for i, w := range r.Map.Image {
+			d.Image[i] = int(w)
+		}
+	}
+	return d
+}
+
+// ResultFromDTO rebuilds the result, reconstructing the task from the spec
+// and the decision map over the decoded subdivision. The rebuilt result
+// passes solver.VerifyDecisionMap whenever the original did.
+func ResultFromDTO(d *ResultDTO) (*solver.Result, error) {
+	task, err := d.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	r := &solver.Result{Task: task, Level: d.Level, Solvable: d.Solvable, Nodes: d.Nodes}
+	if d.Subdivision != nil {
+		sub, err := ComplexFromDTO(d.Subdivision)
+		if err != nil {
+			return nil, err
+		}
+		r.Subdivision = sub
+	}
+	if d.Solvable && d.Image != nil {
+		if r.Subdivision == nil {
+			return nil, fmt.Errorf("engine: result DTO has an image but no subdivision")
+		}
+		m := topology.NewSimplicialMap(r.Subdivision, task.Outputs)
+		if len(d.Image) != len(m.Image) {
+			return nil, fmt.Errorf("engine: image length %d for %d vertices", len(d.Image), len(m.Image))
+		}
+		for i, w := range d.Image {
+			m.Image[i] = topology.Vertex(w)
+		}
+		r.Map = m
+	}
+	return r, nil
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

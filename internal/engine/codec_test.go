@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"waitfree/internal/solver"
+	"waitfree/internal/topology"
+)
+
+// identical asserts a rebuilt complex is vertex-for-vertex identical to the
+// original: numbering, keys, colors, carriers, facets, f-vector.
+func identical(t *testing.T, want, got *topology.Complex) {
+	t.Helper()
+	if !want.Equal(got) {
+		t.Fatal("decoded complex not Equal to original")
+	}
+	if want.NumVertices() != got.NumVertices() {
+		t.Fatalf("vertices: %d vs %d", want.NumVertices(), got.NumVertices())
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		wv := topology.Vertex(v)
+		if want.Key(wv) != got.Key(wv) || want.Color(wv) != got.Color(wv) {
+			t.Fatalf("vertex %d: (%q,%d) vs (%q,%d)", v, want.Key(wv), want.Color(wv), got.Key(wv), got.Color(wv))
+		}
+		if fmt.Sprint(want.Carrier(wv)) != fmt.Sprint(got.Carrier(wv)) {
+			t.Fatalf("vertex %d carrier: %v vs %v", v, want.Carrier(wv), got.Carrier(wv))
+		}
+	}
+	if fmt.Sprint(want.FVector()) != fmt.Sprint(got.FVector()) {
+		t.Fatalf("f-vector: %v vs %v", want.FVector(), got.FVector())
+	}
+	if want.CanonicalString() != got.CanonicalString() {
+		t.Fatal("canonical strings differ")
+	}
+}
+
+func TestComplexCodecRoundTrip(t *testing.T) {
+	cases := map[string]*topology.Complex{
+		"s2":       topology.Simplex(2),
+		"SDS(s1)":  topology.SDS(topology.Simplex(1)),
+		"SDS2(s1)": topology.SDSPow(topology.Simplex(1), 2),
+		"SDS(s2)":  topology.SDS(topology.Simplex(2)),
+	}
+	for name, c := range cases {
+		t.Run(name+"/gob", func(t *testing.T) {
+			data, err := EncodeComplexGob(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeComplexGob(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			identical(t, c, got)
+		})
+		t.Run(name+"/json", func(t *testing.T) {
+			data, err := EncodeComplexJSON(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeComplexJSON(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			identical(t, c, got)
+		})
+	}
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	for _, spec := range []TaskSpec{
+		{Family: "approx-agreement", D: 2}, // solvable at b ≥ 1: exercises map + subdivision
+		{Family: "consensus", Procs: 2},    // unsolvable: exercises the no-map path
+	} {
+		task, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := solver.SolveUpTo(task, 2, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dto := ResultToDTO(spec, res)
+		data, err := gobEncode(dto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ResultDTO
+		if err := gobDecode(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ResultFromDTO(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Level != res.Level || got.Solvable != res.Solvable || got.Nodes != res.Nodes {
+			t.Fatalf("verdict changed: (%d,%v,%d) vs (%d,%v,%d)",
+				got.Level, got.Solvable, got.Nodes, res.Level, res.Solvable, res.Nodes)
+		}
+		if res.Subdivision != nil {
+			identical(t, res.Subdivision, got.Subdivision)
+		}
+		if res.Solvable {
+			// The decoded map must still satisfy the Proposition 3.1 conditions.
+			if err := solver.VerifyDecisionMap(got.Task, got); err != nil {
+				t.Fatalf("decoded map fails verification: %v", err)
+			}
+		}
+	}
+}
+
+// TestCacheKeyDiscipline pins the content-address contract: equal canonical
+// encodings hash equal; different specs, levels, or complexes hash apart.
+func TestCacheKeyDiscipline(t *testing.T) {
+	a := TaskSpec{Family: "consensus", Procs: 2}
+	b := TaskSpec{Family: "consensus", Procs: 2}
+	if a.Canonical() != b.Canonical() || a.Hash() != b.Hash() {
+		t.Fatal("equal specs must hash equal")
+	}
+	// Irrelevant parameters are normalized out of the encoding.
+	withNoise := TaskSpec{Family: "consensus", Procs: 2, K: 7, D: 9, M: 3}
+	if withNoise.Hash() != a.Hash() {
+		t.Fatal("irrelevant parameters must not change the hash")
+	}
+	if (TaskSpec{Family: "consensus", Procs: 3}).Hash() == a.Hash() {
+		t.Fatal("different procs must hash apart")
+	}
+	if (TaskSpec{Family: "set-consensus", Procs: 3, K: 2}).Hash() == (TaskSpec{Family: "set-consensus", Procs: 3, K: 3}).Hash() {
+		t.Fatal("different k must hash apart")
+	}
+
+	s1 := topology.Simplex(1)
+	if hashString(s1.CanonicalString()) != hashString(topology.Simplex(1).CanonicalString()) {
+		t.Fatal("equal complexes must hash equal")
+	}
+	if hashString(topology.SDS(s1).CanonicalString()) == hashString(topology.SDSPow(s1, 2).CanonicalString()) {
+		t.Fatal("different subdivision levels must hash apart")
+	}
+	// The parallel subdivision is canonically identical, hence content-
+	// addresses to the same artifact.
+	if hashString(topology.SDSPow(topology.Simplex(2), 2).CanonicalString()) !=
+		hashString(topology.SDSPowParallel(topology.Simplex(2), 2, 4).CanonicalString()) {
+		t.Fatal("parallel and sequential SDS must share a content address")
+	}
+
+	if (SolveRequest{Spec: a, MaxLevel: 1}).Key() == (SolveRequest{Spec: a, MaxLevel: 2}).Key() {
+		t.Fatal("different max levels must key apart")
+	}
+}

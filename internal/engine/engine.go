@@ -1,0 +1,307 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"waitfree/internal/converge"
+	"waitfree/internal/solver"
+	"waitfree/internal/topology"
+)
+
+// DefaultCacheSize is the default in-memory entry bound of the store.
+const DefaultCacheSize = 512
+
+// DefaultMaxNodes is the engine's per-level search budget — deliberately
+// tighter than the solver library default so a hostile query cannot pin a
+// serving process for minutes.
+const DefaultMaxNodes = 5_000_000
+
+// Options configures an Engine.
+type Options struct {
+	// CacheSize bounds the in-memory store (entries); 0 = DefaultCacheSize.
+	CacheSize int
+	// SpillDir, when set, enables the gob spill-to-disk tier for evicted
+	// artifacts (subdivisions, verdicts, convergence maps, replays).
+	SpillDir string
+	// Workers bounds subdivision/solver parallelism; 0 = runtime.NumCPU().
+	Workers int
+	// MaxNodes is the default per-level solver budget for requests that do
+	// not set one; 0 = DefaultMaxNodes.
+	MaxNodes int64
+}
+
+// Engine is the concurrent query engine. All methods are safe for
+// concurrent use; identical in-flight queries are deduplicated so they cost
+// one computation, and every derived artifact is content-addressed in the
+// store for reuse across queries.
+type Engine struct {
+	cache    *Cache
+	flights  flightGroup
+	workers  int
+	maxNodes int64
+	metrics  *Metrics
+}
+
+// New builds an engine.
+func New(o Options) *Engine {
+	m := NewMetrics()
+	e := &Engine{
+		cache:    NewCache(o.CacheSize, o.SpillDir, m),
+		workers:  o.Workers,
+		maxNodes: o.MaxNodes,
+		metrics:  m,
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.NumCPU()
+	}
+	if e.maxNodes == 0 {
+		e.maxNodes = DefaultMaxNodes
+	}
+	// Spill codecs: subdivisions rehydrate as live complexes; response
+	// artifacts rehydrate as themselves.
+	e.cache.registerCodec("sds",
+		func(v any) ([]byte, error) { return EncodeComplexGob(v.(*topology.Complex)) },
+		func(data []byte) (any, error) { return DecodeComplexGob(data) })
+	e.cache.registerCodec("solve",
+		func(v any) ([]byte, error) { return gobEncode(v.(*SolveResponse)) },
+		func(data []byte) (any, error) { var r SolveResponse; err := gobDecode(data, &r); return &r, err })
+	e.cache.registerCodec("cx",
+		func(v any) ([]byte, error) { return gobEncode(v.(*ComplexResponse)) },
+		func(data []byte) (any, error) { var r ComplexResponse; err := gobDecode(data, &r); return &r, err })
+	e.cache.registerCodec("conv",
+		func(v any) ([]byte, error) { return gobEncode(v.(*ConvergeResponse)) },
+		func(data []byte) (any, error) { var r ConvergeResponse; err := gobDecode(data, &r); return &r, err })
+	e.cache.registerCodec("adv",
+		func(v any) ([]byte, error) { return gobEncode(v.(*AdversaryResponse)) },
+		func(data []byte) (any, error) { var r AdversaryResponse; err := gobDecode(data, &r); return &r, err })
+	return e
+}
+
+// Metrics exposes the engine's counters (shared with the serving layer).
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// CacheLen returns the number of in-memory cache entries.
+func (e *Engine) CacheLen() int { return e.cache.Len() }
+
+// do is the query spine: cache lookup, singleflight dedup of concurrent
+// misses, compute, store. CacheHits/CacheMisses are counted at whole-query
+// granularity — only top-level client queries bump them; internal artifact
+// lookups (the sds: chain a solve walks) count under "<op>_hit"/"<op>_miss"
+// named counters so N clients asking one question read as exactly one miss.
+// op names the latency histogram.
+func (e *Engine) do(op, key string, topLevel bool, compute func() (any, error)) (any, error) {
+	e.metrics.InFlight.Add(1)
+	start := time.Now()
+	defer func() {
+		e.metrics.InFlight.Add(-1)
+		e.metrics.Observe(op, time.Since(start))
+	}()
+
+	hit := func() {
+		if topLevel {
+			e.metrics.CacheHits.Add(1)
+		} else {
+			e.metrics.Inc(op + "_hit")
+		}
+	}
+	if v, ok := e.cache.Get(key); ok {
+		hit()
+		return v, nil
+	}
+	v, err, shared := e.flights.Do(key, func() (any, error) {
+		if v, ok := e.cache.Get(key); ok {
+			hit()
+			return v, nil
+		}
+		if topLevel {
+			e.metrics.CacheMisses.Add(1)
+		} else {
+			e.metrics.Inc(op + "_miss")
+		}
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		e.cache.Put(key, v)
+		return v, nil
+	})
+	if shared {
+		e.metrics.Deduped.Add(1)
+	}
+	return v, err
+}
+
+// sdsLevel returns SDS^b(base) through the content-addressed store,
+// building missing levels one parallel subdivision at a time on top of the
+// deepest cached level. baseHash is hash(base.CanonicalString()), so two
+// tasks over equal input complexes share the whole chain.
+func (e *Engine) sdsLevel(base *topology.Complex, baseHash string, b int) (*topology.Complex, error) {
+	if b == 0 {
+		return base, nil
+	}
+	key := fmt.Sprintf("sds:%s:b=%d", baseHash, b)
+	v, err := e.do("sds", key, false, func() (any, error) {
+		prev, err := e.sdsLevel(base, baseHash, b-1)
+		if err != nil {
+			return nil, err
+		}
+		return topology.SDSParallel(prev, e.workers), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*topology.Complex), nil
+}
+
+// Solve answers a solvability query, reusing cached subdivision levels and
+// verdicts.
+func (e *Engine) Solve(req SolveRequest) (*SolveResponse, error) {
+	if req.MaxLevel < 0 || req.MaxLevel > MaxSolveLevel {
+		return nil, fmt.Errorf("engine: max_level=%d out of range [0,%d]", req.MaxLevel, MaxSolveLevel)
+	}
+	if _, err := req.Spec.Build(); err != nil {
+		return nil, err // validate before hashing the query
+	}
+	v, err := e.do("solve", req.Key(), true, func() (any, error) { return e.computeSolve(req) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*SolveResponse), nil
+}
+
+func (e *Engine) computeSolve(req SolveRequest) (*SolveResponse, error) {
+	task, err := req.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	maxNodes := req.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = e.maxNodes
+	}
+	opts := solver.Options{MaxNodes: maxNodes, Workers: e.workers}
+	baseHash := hashString(task.Inputs.CanonicalString())
+	var last *solver.Result
+	for b := 0; b <= req.MaxLevel; b++ {
+		sub, err := e.sdsLevel(task.Inputs, baseHash, b)
+		if err != nil {
+			return nil, err
+		}
+		res, err := solver.SolveAtLevelOn(task, b, sub, opts)
+		if err != nil {
+			return nil, err // typically solver.ErrBudget, wrapped with level and node count
+		}
+		if res.Solvable {
+			if err := solver.VerifyDecisionMap(task, res); err != nil {
+				return nil, fmt.Errorf("engine: found map fails verification: %w", err)
+			}
+			return solveResponse(req, res, true), nil
+		}
+		last = res
+	}
+	return solveResponse(req, last, false), nil
+}
+
+func solveResponse(req SolveRequest, res *solver.Result, verified bool) *SolveResponse {
+	resp := &SolveResponse{
+		Task:        res.Task.Name,
+		Spec:        req.Spec,
+		MaxLevel:    req.MaxLevel,
+		Level:       res.Level,
+		Solvable:    res.Solvable,
+		Nodes:       res.Nodes,
+		MapVerified: verified && res.Solvable,
+	}
+	if res.Subdivision != nil {
+		resp.SubdivisionVertices = res.Subdivision.NumVertices()
+		resp.SubdivisionFacets = len(res.Subdivision.Facets())
+	}
+	if res.Solvable {
+		resp.Verdict = fmt.Sprintf("SOLVABLE at b = %d", res.Level)
+	} else {
+		resp.Verdict = fmt.Sprintf("UNSOLVABLE for all b ≤ %d (proven by exhaustion)", res.Level)
+	}
+	return resp
+}
+
+// ComplexInfo answers a subdivision-shape query over the standard simplex.
+func (e *Engine) ComplexInfo(req ComplexRequest) (*ComplexResponse, error) {
+	if req.N < 0 || req.N > 3 || req.B < 0 || req.B > 3 || (req.N >= 3 && req.B >= 2) {
+		return nil, fmt.Errorf("engine: complex enumeration is exponential; need 0 ≤ n ≤ 3, 0 ≤ b ≤ 3, n·b small")
+	}
+	v, err := e.do("complex", req.Key(), true, func() (any, error) {
+		base := topology.Simplex(req.N)
+		sub, err := e.sdsLevel(base, hashString(base.CanonicalString()), req.B)
+		if err != nil {
+			return nil, err
+		}
+		return &ComplexResponse{
+			N:         req.N,
+			B:         req.B,
+			Vertices:  sub.NumVertices(),
+			Facets:    len(sub.Facets()),
+			FVector:   sub.FVector(),
+			Euler:     sub.EulerCharacteristic(),
+			Chromatic: sub.IsChromatic(),
+			Pure:      sub.IsPure(),
+			Hash:      hashString(sub.CanonicalString()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ComplexResponse), nil
+}
+
+// Converge answers a Theorem 5.1 query: the smallest k ≤ MaxK with a color-
+// and carrier-preserving simplicial map SDS^k(sⁿ) → SDS^target(sⁿ).
+func (e *Engine) Converge(req ConvergeRequest) (*ConvergeResponse, error) {
+	if req.N < 1 || req.N > 2 {
+		return nil, fmt.Errorf("engine: converge needs 1 ≤ n ≤ 2, got %d", req.N)
+	}
+	if req.Target < 1 || req.Target > 2 {
+		return nil, fmt.Errorf("engine: converge needs 1 ≤ target ≤ 2, got %d", req.Target)
+	}
+	if req.MaxK < 0 || req.MaxK > 4 {
+		return nil, fmt.Errorf("engine: converge needs 0 ≤ max_k ≤ 4, got %d", req.MaxK)
+	}
+	v, err := e.do("converge", req.Key(), true, func() (any, error) {
+		base := topology.Simplex(req.N)
+		a, err := e.sdsLevel(base, hashString(base.CanonicalString()), req.Target)
+		if err != nil {
+			return nil, err
+		}
+		// The cached chain's base is its own Simplex instance; FindChromaticMap
+		// compares base pointers, so converge against that instance.
+		phi, k, err := converge.FindChromaticMap(a.Base(), a, req.MaxK)
+		if err != nil {
+			return nil, err
+		}
+		return &ConvergeResponse{
+			N:                 req.N,
+			Target:            req.Target,
+			MaxK:              req.MaxK,
+			K:                 k,
+			Simplicial:        phi.Validate() == nil,
+			ColorPreserving:   phi.ColorPreserving(),
+			CarrierRespecting: phi.CarrierRespecting(),
+			DomainVertices:    phi.From.NumVertices(),
+			TargetVertices:    phi.To.NumVertices(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ConvergeResponse), nil
+}
+
+// Adversary replays a deterministic schedule (cached — the replay is a pure
+// function of the request).
+func (e *Engine) Adversary(req AdversaryRequest) (*AdversaryResponse, error) {
+	v, err := e.do("adversary", req.Key(), true, func() (any, error) { return RunAdversary(req) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*AdversaryResponse), nil
+}

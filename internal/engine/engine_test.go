@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSolveVerdicts(t *testing.T) {
+	e := New(Options{})
+	cases := []struct {
+		spec     TaskSpec
+		maxLevel int
+		solvable bool
+		level    int
+	}{
+		{TaskSpec{Family: "identity", Procs: 3}, 0, true, 0},
+		{TaskSpec{Family: "set-consensus", Procs: 3, K: 3}, 0, true, 0},
+		{TaskSpec{Family: "consensus", Procs: 2}, 2, false, 2},
+		{TaskSpec{Family: "approx-agreement", D: 2}, 2, true, 1},
+		{TaskSpec{Family: "set-consensus", Procs: 3, K: 2}, 1, false, 1},
+	}
+	for _, tc := range cases {
+		resp, err := e.Solve(SolveRequest{Spec: tc.spec, MaxLevel: tc.maxLevel})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.spec, err)
+		}
+		if resp.Solvable != tc.solvable || resp.Level != tc.level {
+			t.Fatalf("%v: got (solvable=%v, level=%d), want (%v, %d)",
+				tc.spec, resp.Solvable, resp.Level, tc.solvable, tc.level)
+		}
+		if resp.Solvable && !resp.MapVerified {
+			t.Fatalf("%v: solvable but map not verified", tc.spec)
+		}
+	}
+}
+
+func TestSolveWarmCacheHit(t *testing.T) {
+	e := New(Options{})
+	req := SolveRequest{Spec: TaskSpec{Family: "consensus", Procs: 2}, MaxLevel: 2}
+	cold, err := e.Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics().CacheMisses.Load(); got != 1 {
+		t.Fatalf("cold solve should record exactly 1 query-level miss, got %d", got)
+	}
+	warm, err := e.Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Fatal("warm solve should return the cached response object")
+	}
+	if got := e.Metrics().CacheHits.Load(); got < 1 {
+		t.Fatalf("warm solve should record a hit, got %d", got)
+	}
+}
+
+func TestSolveSharesSubdivisionAcrossSpecs(t *testing.T) {
+	e := New(Options{})
+	// set-consensus(3,2) and set-consensus(3,3) have the same input complex
+	// (the single facet of ids), so the SDS chain is shared by content
+	// address.
+	if _, err := e.Solve(SolveRequest{Spec: TaskSpec{Family: "set-consensus", Procs: 3, K: 2}, MaxLevel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sdsKeys := 0
+	for _, k := range e.cache.Keys() {
+		if strings.HasPrefix(k, "sds:") {
+			sdsKeys++
+		}
+	}
+	if _, err := e.Solve(SolveRequest{Spec: TaskSpec{Family: "set-consensus", Procs: 3, K: 3}, MaxLevel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := 0
+	for _, k := range e.cache.Keys() {
+		if strings.HasPrefix(k, "sds:") {
+			after++
+		}
+	}
+	if after != sdsKeys {
+		t.Fatalf("second spec over the same inputs should add no sds entries: %d -> %d", sdsKeys, after)
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	e := New(Options{})
+	req := SolveRequest{Spec: TaskSpec{Family: "consensus", Procs: 2}, MaxLevel: 2}
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.Solve(req)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if got := e.Metrics().CacheMisses.Load(); got != 1 {
+		t.Fatalf("%d identical concurrent queries should cost exactly 1 computation, got %d misses", clients, got)
+	}
+	hits := e.Metrics().CacheHits.Load()
+	deduped := e.Metrics().Deduped.Load()
+	if hits+deduped != clients-1 {
+		t.Fatalf("the other %d clients should hit or share: hits=%d deduped=%d", clients-1, hits, deduped)
+	}
+}
+
+func TestFlightGroup(t *testing.T) {
+	var g flightGroup
+	var computed int
+	start := make(chan struct{})
+	const n = 6
+	var wg sync.WaitGroup
+	shared := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, sh := g.Do("k", func() (any, error) {
+				<-start
+				computed++
+				time.Sleep(5 * time.Millisecond)
+				return 42, nil
+			})
+			shared[i] = sh
+			if err != nil || v.(int) != 42 {
+				t.Errorf("Do: %v %v", v, err)
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let all callers enqueue
+	close(start)
+	wg.Wait()
+	if computed != 1 {
+		t.Fatalf("fn ran %d times, want 1", computed)
+	}
+	nShared := 0
+	for _, s := range shared {
+		if s {
+			nShared++
+		}
+	}
+	if nShared != n-1 {
+		t.Fatalf("%d callers shared, want %d", nShared, n-1)
+	}
+}
+
+func TestCacheLRUAndSpill(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMetrics()
+	c := NewCache(2, dir, m)
+	c.registerCodec("cx",
+		func(v any) ([]byte, error) { return gobEncode(v.(*ComplexResponse)) },
+		func(data []byte) (any, error) { var r ComplexResponse; err := gobDecode(data, &r); return &r, err })
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("cx:n=%d", i), &ComplexResponse{N: i})
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache len %d, want 2 (LRU bound)", c.Len())
+	}
+	if m.CacheEvictions.Load() != 2 || m.CacheSpills.Load() != 2 {
+		t.Fatalf("evictions=%d spills=%d, want 2/2", m.CacheEvictions.Load(), m.CacheSpills.Load())
+	}
+	// Evicted entries rehydrate from disk.
+	v, ok := c.Get("cx:n=0")
+	if !ok {
+		t.Fatal("evicted entry should rehydrate from the spill tier")
+	}
+	if v.(*ComplexResponse).N != 0 {
+		t.Fatalf("rehydrated wrong value: %+v", v)
+	}
+	if m.CacheDiskHits.Load() != 1 {
+		t.Fatalf("disk hits = %d, want 1", m.CacheDiskHits.Load())
+	}
+}
+
+func TestEngineSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	// A 1-entry cache forces every artifact through the disk tier.
+	e := New(Options{CacheSize: 1, SpillDir: dir})
+	req := SolveRequest{Spec: TaskSpec{Family: "approx-agreement", D: 2}, MaxLevel: 2}
+	first, err := e.Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The solve: entry was evicted by later sds: puts; the re-query must
+	// come back from disk with the identical verdict.
+	again, err := e.Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := EncodeJSON(first)
+	b, _ := EncodeJSON(again)
+	if string(a) != string(b) {
+		t.Fatalf("spilled verdict changed:\n%s\n%s", a, b)
+	}
+	if e.Metrics().CacheSpills.Load() == 0 {
+		t.Fatal("expected spills with a 1-entry cache")
+	}
+}
+
+func TestComplexInfo(t *testing.T) {
+	e := New(Options{})
+	resp, err := e.ComplexInfo(ComplexRequest{N: 2, B: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SDS(s²) has 13 facets (Fubini(3)) and f-vector (12, 24, 13).
+	if resp.Facets != 13 || !resp.Chromatic || !resp.Pure {
+		t.Fatalf("SDS(s2): %+v", resp)
+	}
+	if resp.Euler != 1 {
+		t.Fatalf("subdivided simplex must be contractible-like: χ=%d", resp.Euler)
+	}
+	if _, err := e.ComplexInfo(ComplexRequest{N: 3, B: 3}); err == nil {
+		t.Fatal("explosive parameters must be rejected")
+	}
+}
+
+func TestConverge(t *testing.T) {
+	e := New(Options{})
+	resp, err := e.Converge(ConvergeRequest{N: 1, Target: 1, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Simplicial || !resp.ColorPreserving || !resp.CarrierRespecting {
+		t.Fatalf("map properties not verified: %+v", resp)
+	}
+	if resp.K < 1 || resp.K > 2 {
+		t.Fatalf("unexpected level k=%d", resp.K)
+	}
+}
+
+func TestAdversaryReplayDeterministic(t *testing.T) {
+	e := New(Options{})
+	req := AdversaryRequest{Algo: "commitadopt", Adversary: "random", Seed: 42, Procs: 3, Crash: []int{2, -1, -1}}
+	a, err := e.Adversary(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same triple through a fresh engine reproduces the same execution.
+	b, err := New(Options{}).Adversary(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := EncodeJSON(a)
+	bj, _ := EncodeJSON(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("replay not deterministic:\n%s\n%s", aj, bj)
+	}
+	if a.TotalSteps == 0 || !a.WaitFree {
+		t.Fatalf("unexpected replay: %+v", a)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	e := New(Options{})
+	bad := []SolveRequest{
+		{Spec: TaskSpec{Family: "nonsense", Procs: 2}, MaxLevel: 0},
+		{Spec: TaskSpec{Family: "consensus", Procs: 99}, MaxLevel: 0},
+		{Spec: TaskSpec{Family: "set-consensus", Procs: 3, K: 4}, MaxLevel: 0},
+		{Spec: TaskSpec{Family: "consensus", Procs: 2}, MaxLevel: MaxSolveLevel + 1},
+	}
+	for _, req := range bad {
+		if _, err := e.Solve(req); err == nil {
+			t.Fatalf("request %+v should be rejected", req)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package engine is the concurrent solvability query engine behind
+// `wfrepro serve`: it canonically hashes every query (task specs reuse the
+// repository-wide canonical string encodings), content-addresses every
+// derived artifact — SDS^b(I) levels, solver results, convergence maps,
+// adversary replays — in an LRU-bounded in-memory store with optional gob
+// spill-to-disk, deduplicates identical in-flight queries singleflight-
+// style, and fans the subdivision and solver precomputation out over a
+// worker pool. N concurrent clients asking the same question cost one
+// search.
+package engine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMs are the upper bounds (milliseconds) of the latency
+// histogram buckets; observations above the last bound land in +Inf.
+var latencyBucketsMs = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000}
+
+// histogram is a fixed-bucket latency histogram (expvar-style: exported as
+// plain JSON numbers, no external dependencies).
+type histogram struct {
+	counts []int64 // len(latencyBucketsMs)+1; last = +Inf
+	count  int64
+	sumMs  float64
+}
+
+func (h *histogram) observe(ms float64) {
+	if h.counts == nil {
+		h.counts = make([]int64, len(latencyBucketsMs)+1)
+	}
+	h.count++
+	h.sumMs += ms
+	for i, ub := range latencyBucketsMs {
+		if ms <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(latencyBucketsMs)]++
+}
+
+func (h *histogram) snapshot() map[string]any {
+	if h.counts == nil {
+		h.counts = make([]int64, len(latencyBucketsMs)+1)
+	}
+	buckets := make(map[string]int64, len(h.counts))
+	for i, ub := range latencyBucketsMs {
+		buckets[formatBucket(ub)] = h.counts[i]
+	}
+	buckets["le_inf"] = h.counts[len(latencyBucketsMs)]
+	return map[string]any{
+		"count":   h.count,
+		"sum_ms":  h.sumMs,
+		"buckets": buckets,
+	}
+}
+
+func formatBucket(ub float64) string {
+	return "le_" + itoa(int64(ub)) + "ms"
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Metrics holds the engine's expvar-style counters and latency histograms.
+// All fields are safe for concurrent use; Snapshot returns a flat,
+// JSON-marshalable view (map keys serialize sorted, so output is
+// deterministic for a given state).
+type Metrics struct {
+	// Cache behavior, counted at query granularity: a hit means the whole
+	// answer came from the store; a miss means this call computed it.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// Store internals.
+	CacheEvictions atomic.Int64
+	CacheSpills    atomic.Int64
+	CacheDiskHits  atomic.Int64
+	// Singleflight: queries that waited on an identical in-flight one.
+	Deduped atomic.Int64
+	// Gauges.
+	InFlight   atomic.Int64
+	QueueDepth atomic.Int64
+	Rejected   atomic.Int64
+
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[string]*histogram
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: make(map[string]int64), hists: make(map[string]*histogram)}
+}
+
+// Inc bumps a named counter (e.g. per-endpoint request totals).
+func (m *Metrics) Inc(name string) {
+	m.mu.Lock()
+	m.counters[name]++
+	m.mu.Unlock()
+}
+
+// Observe records a latency sample under the named histogram.
+func (m *Metrics) Observe(name string, d time.Duration) {
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = &histogram{}
+		m.hists[name] = h
+	}
+	h.observe(float64(d) / float64(time.Millisecond))
+	m.mu.Unlock()
+}
+
+// Counter returns the current value of a named counter.
+func (m *Metrics) Counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Snapshot returns all counters, gauges, and histograms as a flat map
+// suitable for JSON encoding on /metrics.
+func (m *Metrics) Snapshot() map[string]any {
+	out := map[string]any{
+		"cache_hits":      m.CacheHits.Load(),
+		"cache_misses":    m.CacheMisses.Load(),
+		"cache_evictions": m.CacheEvictions.Load(),
+		"cache_spills":    m.CacheSpills.Load(),
+		"cache_disk_hits": m.CacheDiskHits.Load(),
+		"deduped":         m.Deduped.Load(),
+		"in_flight":       m.InFlight.Load(),
+		"queue_depth":     m.QueueDepth.Load(),
+		"rejected":        m.Rejected.Load(),
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.counters))
+	for name := range m.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out["counter_"+name] = m.counters[name]
+	}
+	for name, h := range m.hists {
+		out["latency_"+name] = h.snapshot()
+	}
+	m.mu.Unlock()
+	return out
+}

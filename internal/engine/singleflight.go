@@ -1,0 +1,44 @@
+package engine
+
+import "sync"
+
+// flightGroup deduplicates concurrent calls with the same key: the first
+// caller (the leader) runs fn, everyone else blocks and shares the leader's
+// result. A minimal re-implementation of golang.org/x/sync/singleflight —
+// the repository deliberately depends only on the standard library.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do runs fn once per key among concurrent callers. shared reports whether
+// this caller received another call's result instead of computing its own.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

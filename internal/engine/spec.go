@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"fmt"
+
+	"waitfree/internal/tasks"
+)
+
+// TaskSpec identifies a task instance by family and parameters. It is the
+// serializable (JSON/gob/query-string) face of the tasks package's
+// constructors, and the unit the engine hashes for content addressing:
+// equal canonical strings build identical tasks.
+type TaskSpec struct {
+	Family string `json:"family"`
+	Procs  int    `json:"procs,omitempty"`
+	K      int    `json:"k,omitempty"` // set-consensus: max distinct decisions
+	D      int    `json:"d,omitempty"` // approximate agreement: grid density (ε = 1/D)
+	M      int    `json:"m,omitempty"` // renaming: namespace size
+}
+
+// Families lists the supported task families.
+func Families() []string {
+	return []string{
+		"identity", "consensus", "set-consensus",
+		"approx-agreement", "approx-agreement-n", "renaming", "wsb",
+	}
+}
+
+// Canonical returns the spec's canonical string encoding. Irrelevant
+// parameters are normalized away, so two specs that build the same task
+// encode (and hash) identically.
+func (s TaskSpec) Canonical() string {
+	n := s.normalized()
+	return fmt.Sprintf("task/%s/procs=%d/k=%d/d=%d/m=%d", n.Family, n.Procs, n.K, n.D, n.M)
+}
+
+// Hash returns the spec's content address.
+func (s TaskSpec) Hash() string { return hashString(s.Canonical()) }
+
+// normalized zeroes parameters the family ignores and applies defaults.
+func (s TaskSpec) normalized() TaskSpec {
+	out := TaskSpec{Family: s.Family, Procs: s.Procs}
+	switch s.Family {
+	case "set-consensus":
+		out.K = s.K
+	case "approx-agreement":
+		out.Procs = 2
+		out.D = s.D
+	case "approx-agreement-n":
+		out.D = s.D
+	case "renaming":
+		out.M = s.M
+	}
+	return out
+}
+
+// Guards keep the service endpoints inside the tractable envelope; the
+// engine refuses specs whose complexes (or searches) would explode. The
+// bounds are generous relative to the experiments in EXPERIMENTS.md.
+const (
+	maxSpecProcs = 4
+	maxSpecD     = 32
+	maxSpecM     = 8
+)
+
+// Build constructs the task, validating parameters.
+func (s TaskSpec) Build() (*tasks.Task, error) {
+	if s.Procs < 0 || s.Procs > maxSpecProcs {
+		return nil, fmt.Errorf("engine: procs=%d out of range [1,%d]", s.Procs, maxSpecProcs)
+	}
+	procs := s.Procs
+	needProcs := func() error {
+		if procs < 1 {
+			return fmt.Errorf("engine: family %q needs procs ≥ 1", s.Family)
+		}
+		return nil
+	}
+	switch s.Family {
+	case "identity":
+		if err := needProcs(); err != nil {
+			return nil, err
+		}
+		return tasks.IdentityTask(procs), nil
+	case "consensus":
+		if err := needProcs(); err != nil {
+			return nil, err
+		}
+		return tasks.Consensus(procs), nil
+	case "set-consensus":
+		if err := needProcs(); err != nil {
+			return nil, err
+		}
+		if s.K < 1 || s.K > procs {
+			return nil, fmt.Errorf("engine: set-consensus needs 1 ≤ k ≤ procs, got k=%d procs=%d", s.K, procs)
+		}
+		return tasks.SetConsensus(procs, s.K), nil
+	case "approx-agreement":
+		if procs != 0 && procs != 2 {
+			return nil, fmt.Errorf("engine: approx-agreement is 2-process (procs=%d)", procs)
+		}
+		if s.D < 1 || s.D > maxSpecD {
+			return nil, fmt.Errorf("engine: approx-agreement needs 1 ≤ d ≤ %d, got %d", maxSpecD, s.D)
+		}
+		return tasks.ApproxAgreement(s.D), nil
+	case "approx-agreement-n":
+		if err := needProcs(); err != nil {
+			return nil, err
+		}
+		if s.D < 1 || s.D > 8 {
+			return nil, fmt.Errorf("engine: approx-agreement-n needs 1 ≤ d ≤ 8, got %d", s.D)
+		}
+		return tasks.ApproxAgreementN(procs, s.D), nil
+	case "renaming":
+		if err := needProcs(); err != nil {
+			return nil, err
+		}
+		if s.M < procs || s.M > maxSpecM {
+			return nil, fmt.Errorf("engine: renaming needs procs ≤ m ≤ %d, got m=%d procs=%d", maxSpecM, s.M, procs)
+		}
+		return tasks.Renaming(procs, s.M), nil
+	case "wsb":
+		if err := needProcs(); err != nil {
+			return nil, err
+		}
+		return tasks.WeakSymmetryBreaking(procs), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown task family %q (want one of %v)", s.Family, Families())
+	}
+}

@@ -1,0 +1,315 @@
+// Package serve is the HTTP layer over the engine: a stdlib-only JSON API
+// exposing the solvability checker, subdivision enumerator, Theorem 5.1
+// convergence search, and deterministic adversary replays, plus health and
+// metrics endpoints. All handlers are GET with query parameters, so every
+// query is a curl-able, cache-addressable URL.
+//
+//	GET /v1/solve?family=consensus&procs=2&maxb=2
+//	GET /v1/complex?n=2&b=1
+//	GET /v1/converge?n=1&target=1&maxk=2
+//	GET /v1/adversary?algo=commitadopt&adversary=random&seed=42&procs=3&crash=2,-1,-1
+//	GET /healthz
+//	GET /metrics
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"waitfree/internal/engine"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxConcurrent bounds in-flight requests; excess callers queue (briefly)
+	// and are rejected with 503 once the queue is full. 0 = 2×MaxConcurrent
+	// default of 32.
+	MaxConcurrent int
+	// Timeout is the per-request deadline; 0 = 30s.
+	Timeout time.Duration
+}
+
+// DefaultMaxConcurrent is the default in-flight request bound.
+const DefaultMaxConcurrent = 32
+
+// DefaultTimeout is the default per-request deadline.
+const DefaultTimeout = 30 * time.Second
+
+// Server routes HTTP requests into an engine.
+type Server struct {
+	eng     *engine.Engine
+	sem     chan struct{}
+	timeout time.Duration
+}
+
+// NewServer builds a Server over eng.
+func NewServer(eng *engine.Engine, o Options) *Server {
+	maxConc := o.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = DefaultMaxConcurrent
+	}
+	timeout := o.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Server{eng: eng, sem: make(chan struct{}, maxConc), timeout: timeout}
+}
+
+// Engine exposes the underlying engine (tests, metrics wiring).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Handler returns the full route table wrapped in the concurrency limiter
+// and the per-request timeout.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/complex", s.handleComplex)
+	mux.HandleFunc("/v1/converge", s.handleConverge)
+	mux.HandleFunc("/v1/adversary", s.handleAdversary)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return http.TimeoutHandler(s.limit(mux), s.timeout, `{"error":"request timed out"}`)
+}
+
+// limit is the concurrency gate: a semaphore sized MaxConcurrent, with the
+// queue-depth gauge counting callers blocked on it. Callers that cannot get
+// a slot within a grace period are rejected 503 so a stampede degrades
+// instead of piling up.
+func (s *Server) limit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := s.eng.Metrics()
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			m.QueueDepth.Add(1)
+			t := time.NewTimer(s.timeout / 2)
+			select {
+			case s.sem <- struct{}{}:
+				t.Stop()
+				m.QueueDepth.Add(-1)
+			case <-t.C:
+				m.QueueDepth.Add(-1)
+				m.Rejected.Add(1)
+				writeError(w, http.StatusServiceUnavailable, errors.New("server at capacity"))
+				return
+			case <-r.Context().Done():
+				t.Stop()
+				m.QueueDepth.Add(-1)
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// instrument counts the request and times the handler under the endpoint's
+// name.
+func (s *Server) instrument(name string, w http.ResponseWriter, fn func() (any, error)) {
+	m := s.eng.Metrics()
+	m.Inc("http_" + name)
+	start := time.Now()
+	v, err := fn()
+	m.Observe("http_"+name, time.Since(start))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := engine.WriteJSON(w, v); err != nil {
+		// Headers are gone; nothing to do but record it.
+		m.Inc("http_write_errors")
+	}
+}
+
+// statusFor maps engine errors to HTTP statuses: validation errors (bad
+// parameters, out-of-range sizes) are the client's fault; anything else is
+// a 500.
+func statusFor(err error) int {
+	msg := err.Error()
+	if strings.Contains(msg, "out of range") || strings.Contains(msg, "unknown") ||
+		strings.Contains(msg, "need") || strings.Contains(msg, "invalid") ||
+		strings.Contains(msg, "exponential") || strings.Contains(msg, "crash vector") ||
+		strings.Contains(msg, "at least one process") {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	engine.WriteJSON(w, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.instrument("solve", w, func() (any, error) {
+		req, err := parseSolve(r)
+		if err != nil {
+			return nil, err
+		}
+		return s.eng.Solve(req)
+	})
+}
+
+func (s *Server) handleComplex(w http.ResponseWriter, r *http.Request) {
+	s.instrument("complex", w, func() (any, error) {
+		n, err := intParam(r, "n", 2)
+		if err != nil {
+			return nil, err
+		}
+		b, err := intParam(r, "b", 1)
+		if err != nil {
+			return nil, err
+		}
+		return s.eng.ComplexInfo(engine.ComplexRequest{N: n, B: b})
+	})
+}
+
+func (s *Server) handleConverge(w http.ResponseWriter, r *http.Request) {
+	s.instrument("converge", w, func() (any, error) {
+		n, err := intParam(r, "n", 1)
+		if err != nil {
+			return nil, err
+		}
+		target, err := intParam(r, "target", 1)
+		if err != nil {
+			return nil, err
+		}
+		maxk, err := intParam(r, "maxk", 3)
+		if err != nil {
+			return nil, err
+		}
+		return s.eng.Converge(engine.ConvergeRequest{N: n, Target: target, MaxK: maxk})
+	})
+}
+
+func (s *Server) handleAdversary(w http.ResponseWriter, r *http.Request) {
+	s.instrument("adversary", w, func() (any, error) {
+		req, err := parseAdversary(r)
+		if err != nil {
+			return nil, err
+		}
+		return s.eng.Adversary(req)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	engine.WriteJSON(w, map[string]any{"status": "ok", "cache_entries": s.eng.CacheLen()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	engine.WriteJSON(w, s.eng.Metrics().Snapshot())
+}
+
+// parseSolve reads a SolveRequest from query parameters. Defaults mirror
+// the CLI: maxb=2, engine-default node budget.
+func parseSolve(r *http.Request) (engine.SolveRequest, error) {
+	var req engine.SolveRequest
+	req.Spec.Family = r.URL.Query().Get("family")
+	if req.Spec.Family == "" {
+		return req, fmt.Errorf("invalid request: family is required (one of %v)", engine.Families())
+	}
+	var err error
+	if req.Spec.Procs, err = intParam(r, "procs", 0); err != nil {
+		return req, err
+	}
+	if req.Spec.K, err = intParam(r, "k", 0); err != nil {
+		return req, err
+	}
+	if req.Spec.D, err = intParam(r, "d", 0); err != nil {
+		return req, err
+	}
+	if req.Spec.M, err = intParam(r, "m", 0); err != nil {
+		return req, err
+	}
+	if req.MaxLevel, err = intParam(r, "maxb", 2); err != nil {
+		return req, err
+	}
+	maxNodes, err := intParam(r, "maxnodes", 0)
+	if err != nil {
+		return req, err
+	}
+	req.MaxNodes = int64(maxNodes)
+	return req, nil
+}
+
+// parseAdversary reads an AdversaryRequest from query parameters.
+func parseAdversary(r *http.Request) (engine.AdversaryRequest, error) {
+	var req engine.AdversaryRequest
+	q := r.URL.Query()
+	req.Algo = q.Get("algo")
+	if req.Algo == "" {
+		return req, fmt.Errorf("invalid request: algo is required (one of %v)", engine.AdversaryAlgos())
+	}
+	req.Adversary = q.Get("adversary")
+	if req.Adversary == "" {
+		req.Adversary = "round-robin"
+	}
+	var err error
+	if req.Procs, err = intParam(r, "procs", 3); err != nil {
+		return req, err
+	}
+	seed, err := intParam(r, "seed", 1)
+	if err != nil {
+		return req, err
+	}
+	req.Seed = int64(seed)
+	if req.MaxSteps, err = intParam(r, "maxsteps", 0); err != nil {
+		return req, err
+	}
+	if cs := q.Get("crash"); cs != "" {
+		req.Crash, err = engine.ParseCrashVector(cs, req.Procs)
+		if err != nil {
+			return req, err
+		}
+	}
+	return req, nil
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid request: %s=%q is not an integer", name, s)
+	}
+	return v, nil
+}
+
+// Run serves s on addr until ctx is cancelled, then drains gracefully.
+// ready, when non-nil, receives the bound address (useful with ":0") once
+// the listener is up.
+func Run(ctx context.Context, addr string, s *Server, ready chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}

@@ -16,7 +16,10 @@ package solver
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"waitfree/internal/tasks"
 	"waitfree/internal/topology"
@@ -47,6 +50,16 @@ type Options struct {
 
 	// Order selects the vertex ordering (default OrderDFS).
 	Order Order
+
+	// Workers bounds the parallelism of the per-vertex domain and
+	// per-simplex carrier precomputation (and, in SolveUpTo, of the
+	// subdivision between levels): 0 means runtime.NumCPU(), 1 forces the
+	// sequential path. The backtracking search itself stays sequential, so
+	// results (including node counts) are identical at any Workers value.
+	// Workers > 1 requires task.Allowed to be safe for concurrent calls —
+	// true of every task in this repository, whose Allowed closures only
+	// read immutable tables.
+	Workers int
 }
 
 // DefaultMaxNodes is the per-level search budget.
@@ -69,24 +82,36 @@ type Result struct {
 // SolveAtLevel decides whether the task has a decision map at subdivision
 // level b.
 func SolveAtLevel(task *tasks.Task, b int, opts Options) (*Result, error) {
+	return SolveAtLevelOn(task, b, topology.SDSPow(task.Inputs, b), opts)
+}
+
+// SolveAtLevelOn is SolveAtLevel with the subdivision supplied by the
+// caller: sub must be SDS^b(task.Inputs) (or a vertex-for-vertex identical
+// complex, e.g. one rehydrated from the engine's content-addressed cache).
+// Sharing the subdivision is what lets the engine amortize the ~13^b
+// construction across queries and levels.
+func SolveAtLevelOn(task *tasks.Task, b int, sub *topology.Complex, opts Options) (*Result, error) {
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = DefaultMaxNodes
 	}
-	sub := topology.SDSPow(task.Inputs, b)
 	res := &Result{Task: task, Level: b, Subdivision: sub}
 
 	nv := sub.NumVertices()
 	// Per-vertex domains: same color, and allowed as a singleton decision
-	// for the vertex's own carrier.
+	// for the vertex's own carrier. Each vertex is independent, so the loop
+	// fans out over a worker pool; the result is index-addressed and
+	// therefore deterministic regardless of scheduling.
 	domains := make([][]topology.Vertex, nv)
-	for v := 0; v < nv; v++ {
+	parallelRange(nv, opts.Workers, func(v int) {
 		carrier := sub.Carrier(topology.Vertex(v))
 		for _, w := range task.Outputs.VerticesOfColor(sub.Color(topology.Vertex(v))) {
 			if task.Allowed(carrier, []topology.Vertex{w}) {
 				domains[v] = append(domains[v], w)
 			}
 		}
+	})
+	for v := 0; v < nv; v++ {
 		if len(domains[v]) == 0 {
 			return res, nil // unsolvable: a vertex has no legal decision
 		}
@@ -100,21 +125,26 @@ func SolveAtLevel(task *tasks.Task, b int, opts Options) (*Result, error) {
 
 	// For each simplex, the position at which its last vertex is assigned;
 	// checks[p] lists simplices fully assigned exactly when position p is.
-	// Carriers are precomputed: they are looked up once per search node.
+	// Carriers are precomputed (in parallel — the dominant cost of this
+	// phase): they are looked up once per search node.
+	all := sub.AllSimplices()
+	var flat [][]topology.Vertex
+	for _, byDim := range all {
+		flat = append(flat, byDim...)
+	}
+	carriers := make([][]topology.Vertex, len(flat))
+	parallelRange(len(flat), opts.Workers, func(i int) {
+		carriers[i] = sub.CarrierOfSimplex(flat[i])
+	})
 	checks := make([][]checkItem, nv)
-	for _, byDim := range sub.AllSimplices() {
-		for _, s := range byDim {
-			last := 0
-			for _, v := range s {
-				if pos[v] > last {
-					last = pos[v]
-				}
+	for i, s := range flat {
+		last := 0
+		for _, v := range s {
+			if pos[v] > last {
+				last = pos[v]
 			}
-			checks[last] = append(checks[last], checkItem{
-				simplex: s,
-				carrier: sub.CarrierOfSimplex(s),
-			})
 		}
+		checks[last] = append(checks[last], checkItem{simplex: s, carrier: carriers[i]})
 	}
 
 	assign := make([]topology.Vertex, nv)
@@ -266,10 +296,18 @@ func searchOrder(sub *topology.Complex, domains [][]topology.Vertex, strategy Or
 
 // SolveUpTo tries levels 0 … maxLevel and returns the first solvable result,
 // or the last (unsolvable) one. A budget error at any level aborts.
+//
+// The subdivision chain is built incrementally — level b's SDS^b(I) is one
+// (parallel) subdivision of level b−1's complex, not a recomputation from
+// scratch — so the total subdivision cost is that of the last level alone.
 func SolveUpTo(task *tasks.Task, maxLevel int, opts Options) (*Result, error) {
 	var last *Result
+	sub := task.Inputs
 	for b := 0; b <= maxLevel; b++ {
-		res, err := SolveAtLevel(task, b, opts)
+		if b > 0 {
+			sub = topology.SDSParallel(sub, opts.Workers)
+		}
+		res, err := SolveAtLevelOn(task, b, sub, opts)
 		if err != nil {
 			return res, err
 		}
@@ -279,6 +317,40 @@ func SolveUpTo(task *tasks.Task, maxLevel int, opts Options) (*Result, error) {
 		last = res
 	}
 	return last, nil
+}
+
+// parallelRange runs fn(i) for i in [0, n) on a worker pool of the given
+// size (0 = runtime.NumCPU(), 1 = inline). fn must only write state owned
+// by index i.
+func parallelRange(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // VerifyDecisionMap independently re-checks a claimed decision map against

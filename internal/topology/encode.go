@@ -1,0 +1,59 @@
+package topology
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CanonicalString returns a canonical textual encoding of the sealed
+// complex: the base's encoding (when the complex is a subdivision), then
+// every vertex sorted by key with its color and carrier (carriers rendered
+// by base key, so the encoding is independent of internal vertex numbering),
+// then every facet as a sorted tuple of vertex keys, facets sorted
+// lexicographically. Two sealed complexes with equal canonical strings have
+// identical vertex keys, colors, carriers, and facet sets — the property the
+// engine's content-addressed cache keys rely on.
+func (c *Complex) CanonicalString() string {
+	c.mustBeSealed("CanonicalString")
+	var b strings.Builder
+	if c.base != nil {
+		b.WriteString("base{")
+		b.WriteString(c.base.CanonicalString())
+		b.WriteString("}\n")
+	}
+	keys := make([]string, len(c.verts))
+	for i, a := range c.verts {
+		keys[i] = a.key
+	}
+	sort.Strings(keys)
+	b.WriteString("verts{")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		v := c.byKey[k]
+		b.WriteString(k)
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(c.verts[v].color))
+		if c.base != nil {
+			b.WriteString("|[")
+			ck := make([]string, len(c.verts[v].carrier))
+			for j, w := range c.verts[v].carrier {
+				ck[j] = c.base.verts[w].key
+			}
+			sort.Strings(ck)
+			b.WriteString(strings.Join(ck, " "))
+			b.WriteByte(']')
+		}
+	}
+	b.WriteString("}\nfacets{")
+	fk := make([]string, len(c.facets))
+	for i, f := range c.facets {
+		fk[i] = c.facetKeyString(f)
+	}
+	sort.Strings(fk)
+	b.WriteString(strings.Join(fk, ";"))
+	b.WriteString("}")
+	return b.String()
+}

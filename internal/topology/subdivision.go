@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 )
@@ -152,29 +153,94 @@ func ForEachOrderedPartition(n int, fn func(blocks [][]int)) {
 }
 
 // CountOrderedPartitions returns the n-th Fubini number, the number of
-// ordered partitions of an n-element set.
+// ordered partitions of an n-element set. Fubini numbers grow super-
+// exponentially (a(19) no longer fits in int64); rather than silently
+// wrapping, it panics with a clear message on overflow. Callers that want
+// to handle the condition use CountOrderedPartitionsChecked.
 func CountOrderedPartitions(n int) int {
+	v, err := CountOrderedPartitionsChecked(n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// CountOrderedPartitionsChecked is CountOrderedPartitions with explicit
+// overflow detection: every intermediate product and sum is checked, and the
+// first value that does not fit in int is reported as an error instead of a
+// silently wrapped number.
+func CountOrderedPartitionsChecked(n int) (int, error) {
 	// a(n) = Σ_{k=1..n} C(n,k) a(n−k), a(0)=1.
 	a := make([]int, n+1)
 	a[0] = 1
 	for m := 1; m <= n; m++ {
 		for k := 1; k <= m; k++ {
-			a[m] += binomial(m, k) * a[m-k]
+			b, err := binomialChecked(m, k)
+			if err != nil {
+				return 0, fmt.Errorf("topology: CountOrderedPartitions(%d) overflows int at C(%d,%d): %w", n, m, k, err)
+			}
+			p, ok := mulNonNeg(b, a[m-k])
+			if !ok {
+				return 0, fmt.Errorf("topology: CountOrderedPartitions(%d) overflows int at C(%d,%d)·a(%d)", n, m, k, m-k)
+			}
+			s, ok := addNonNeg(a[m], p)
+			if !ok {
+				return 0, fmt.Errorf("topology: CountOrderedPartitions(%d) overflows int summing a(%d)", n, m)
+			}
+			a[m] = s
 		}
 	}
-	return a[n]
+	return a[n], nil
 }
 
 func binomial(n, k int) int {
+	r, err := binomialChecked(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// binomialChecked computes C(n,k) with overflow detection on every
+// intermediate product (the running product r·(n−i) is always divisible by
+// i+1, so checking the multiply suffices). The check is conservative: it
+// reports overflow when an intermediate product exceeds int even if the
+// final binomial would fit, which errs on the safe side.
+func binomialChecked(n, k int) (int, error) {
 	if k < 0 || k > n {
-		return 0
+		return 0, nil
 	}
 	if k > n-k {
 		k = n - k
 	}
 	r := 1
 	for i := 0; i < k; i++ {
-		r = r * (n - i) / (i + 1)
+		p, ok := mulNonNeg(r, n-i)
+		if !ok {
+			return 0, fmt.Errorf("topology: binomial(%d,%d) overflows int", n, k)
+		}
+		r = p / (i + 1)
 	}
-	return r
+	return r, nil
+}
+
+// mulNonNeg returns a·b and whether it fits in int, for a, b ≥ 0.
+func mulNonNeg(a, b int) (int, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	r := a * b
+	if r/a != b || r < 0 {
+		return 0, false
+	}
+	return r, true
+}
+
+// addNonNeg returns a+b and whether it fits in int, for a, b ≥ 0.
+func addNonNeg(a, b int) (int, bool) {
+	r := a + b
+	if r < 0 {
+		return 0, false
+	}
+	return r, true
 }

@@ -1,0 +1,151 @@
+package topology
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SDSParallel is SDS computed with a per-facet worker pool. The result is
+// vertex-for-vertex identical to SDS(c): every facet's subdivision is
+// computed independently (the vertex keys of the standard chromatic
+// subdivision are canonical, so shared faces glue no matter who computed
+// them), and the per-facet results are merged sequentially in the original
+// facet order, which reproduces the exact first-occurrence order of the
+// sequential construction. workers ≤ 0 means runtime.NumCPU().
+func SDSParallel(c *Complex, workers int) *Complex {
+	return SDSParallelStructured(c, workers).Complex
+}
+
+// SDSPowParallel returns SDS^b(c) with each level subdivided by SDSParallel.
+// The output is identical to SDSPow(c, b).
+func SDSPowParallel(c *Complex, b, workers int) *Complex {
+	for i := 0; i < b; i++ {
+		c = SDSParallel(c, workers)
+	}
+	return c
+}
+
+// SDSParallelStructured is SDSParallel, additionally returning the
+// construction structure (identical to SDSStructured's).
+func SDSParallelStructured(c *Complex, workers int) *SDSLevel {
+	c.mustBeSealed("SDSParallel")
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	facets := c.Facets()
+	// Fan-out pays for itself only with enough independent facets; small
+	// complexes take the sequential path (same output either way).
+	if workers == 1 || len(facets) < 2*workers {
+		return SDSStructured(c)
+	}
+
+	results := make([]sdsFacetOut, len(facets))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = subdivideFacet(c, facets[i])
+			}
+		}()
+	}
+	for i := range facets {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	// Deterministic merge: facets in original order, and within each facet
+	// the records in first-occurrence order, exactly as the sequential
+	// construction encounters them. AddVertex deduplicates by canonical key,
+	// so vertex indices come out identical.
+	out := NewComplex()
+	base := c.base
+	if base == nil {
+		base = c
+	}
+	out.base = base
+	lvl := &SDSLevel{Complex: out, Prev: c}
+	for _, r := range results {
+		global := make([]Vertex, len(r.recs))
+		for li, rec := range r.recs {
+			v := out.MustAddVertex(rec.key, c.Color(rec.u))
+			if int(v) == len(lvl.U) {
+				lvl.U = append(lvl.U, rec.u)
+				lvl.S = append(lvl.S, rec.s)
+				out.SetCarrier(v, rec.carrier)
+			}
+			global[li] = v
+		}
+		for _, f := range r.facets {
+			mapped := make([]Vertex, len(f))
+			for i, li := range f {
+				mapped[i] = global[li]
+			}
+			out.MustAddSimplex(mapped...)
+		}
+	}
+	out.Seal()
+	return lvl
+}
+
+// sdsVertexRec is one new vertex (u, S) of a facet's subdivision, with its
+// canonical key and carrier in the original base precomputed by the worker.
+type sdsVertexRec struct {
+	key     string
+	u       Vertex
+	s       []Vertex
+	carrier []Vertex
+}
+
+// sdsFacetOut is the subdivision of a single facet: its distinct vertices in
+// first-occurrence order and its facets as local record indices.
+type sdsFacetOut struct {
+	recs   []sdsVertexRec
+	facets [][]int
+}
+
+// subdivideFacet computes the one-shot IS subdivision of facet t, recording
+// vertices in the same order the sequential SDSStructured loop would first
+// encounter them.
+func subdivideFacet(c *Complex, t []Vertex) sdsFacetOut {
+	var out sdsFacetOut
+	local := make(map[string]int)
+	addLocal := func(u Vertex, s []Vertex) int {
+		key := sdsVertexKey(c, u, s)
+		if id, ok := local[key]; ok {
+			return id
+		}
+		carrierSet := make(map[Vertex]struct{})
+		for _, w := range s {
+			for _, b := range c.Carrier(w) {
+				carrierSet[b] = struct{}{}
+			}
+		}
+		carrier := make([]Vertex, 0, len(carrierSet))
+		for b := range carrierSet {
+			carrier = append(carrier, b)
+		}
+		id := len(out.recs)
+		out.recs = append(out.recs, sdsVertexRec{key: key, u: u, s: append([]Vertex(nil), s...), carrier: carrier})
+		local[key] = id
+		return id
+	}
+	ForEachOrderedPartition(len(t), func(blocks [][]int) {
+		facet := make([]int, 0, len(t))
+		var prefix []Vertex
+		for _, block := range blocks {
+			for _, bi := range block {
+				prefix = append(prefix, t[bi])
+			}
+			s := sortedCopy(prefix)
+			for _, bi := range block {
+				facet = append(facet, addLocal(t[bi], s))
+			}
+		}
+		out.facets = append(out.facets, facet)
+	})
+	return out
+}

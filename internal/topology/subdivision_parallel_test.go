@@ -1,0 +1,181 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// complexesIdentical asserts the two complexes are bit-identical builds:
+// same vertex table in the same order (key, color, carrier), same facet
+// lists in the same order. Stronger than Equal, which ignores numbering.
+func complexesIdentical(t *testing.T, seq, par *Complex) {
+	t.Helper()
+	if seq.NumVertices() != par.NumVertices() {
+		t.Fatalf("vertex count: seq %d, par %d", seq.NumVertices(), par.NumVertices())
+	}
+	for v := 0; v < seq.NumVertices(); v++ {
+		sv, pv := Vertex(v), Vertex(v)
+		if seq.Key(sv) != par.Key(pv) {
+			t.Fatalf("vertex %d: key %q vs %q", v, seq.Key(sv), par.Key(pv))
+		}
+		if seq.Color(sv) != par.Color(pv) {
+			t.Fatalf("vertex %d: color %d vs %d", v, seq.Color(sv), par.Color(pv))
+		}
+		sc, pc := seq.Carrier(sv), par.Carrier(pv)
+		if fmt.Sprint(sc) != fmt.Sprint(pc) {
+			t.Fatalf("vertex %d: carrier %v vs %v", v, sc, pc)
+		}
+	}
+	sf, pf := seq.Facets(), par.Facets()
+	if len(sf) != len(pf) {
+		t.Fatalf("facet count: seq %d, par %d", len(sf), len(pf))
+	}
+	for i := range sf {
+		if fmt.Sprint(sf[i]) != fmt.Sprint(pf[i]) {
+			t.Fatalf("facet %d: %v vs %v", i, sf[i], pf[i])
+		}
+	}
+}
+
+// TestSDSParallelMatchesSequential pins the determinism contract of the
+// engine's parallel subdivision: SDSPowParallel is vertex-for-vertex and
+// facet-for-facet identical to the sequential SDSPow for all n ≤ 3 procs
+// and b ≤ 3 (capped where the complex would explode).
+func TestSDSParallelMatchesSequential(t *testing.T) {
+	for n := 0; n <= 2; n++ {
+		maxB := 3
+		if n == 2 {
+			maxB = 3 // 13³ facets at the last level; still fast
+		}
+		for b := 0; b <= maxB; b++ {
+			t.Run(fmt.Sprintf("n=%d/b=%d", n, b), func(t *testing.T) {
+				seq := SDSPow(Simplex(n), b)
+				for _, workers := range []int{0, 1, 2, 7} {
+					par := SDSPowParallel(Simplex(n), b, workers)
+					complexesIdentical(t, seq, par)
+					if seq.CanonicalString() != par.CanonicalString() {
+						t.Fatalf("canonical strings differ (workers=%d)", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSDSParallelStructured checks the retained (u, S) construction
+// structure matches the sequential one.
+func TestSDSParallelStructured(t *testing.T) {
+	c := SDS(Simplex(2)) // 13 facets: enough to trigger the parallel path
+	seq := SDSStructured(c)
+	par := SDSParallelStructured(c, 4)
+	complexesIdentical(t, seq.Complex, par.Complex)
+	if len(seq.U) != len(par.U) {
+		t.Fatalf("U length: %d vs %d", len(seq.U), len(par.U))
+	}
+	for i := range seq.U {
+		if seq.U[i] != par.U[i] {
+			t.Fatalf("U[%d]: %v vs %v", i, seq.U[i], par.U[i])
+		}
+		if fmt.Sprint(seq.S[i]) != fmt.Sprint(par.S[i]) {
+			t.Fatalf("S[%d]: %v vs %v", i, seq.S[i], par.S[i])
+		}
+	}
+}
+
+// TestSDSParallelOnTaskLikeComplex exercises gluing across facets (shared
+// faces) on a complex with several facets sharing vertices, like the
+// consensus input complex.
+func TestSDSParallelOnTaskLikeComplex(t *testing.T) {
+	c := NewComplex()
+	var vs []Vertex
+	for p := 0; p < 2; p++ {
+		for _, val := range []string{"0", "1"} {
+			vs = append(vs, c.MustAddVertex("P"+strconv.Itoa(p)+"="+val, p))
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for j := 2; j < 4; j++ {
+			c.MustAddSimplex(vs[i], vs[j])
+		}
+	}
+	c.Seal()
+	for b := 1; b <= 3; b++ {
+		seq := SDSPow(c, b)
+		par := SDSPowParallel(c, b, 3)
+		complexesIdentical(t, seq, par)
+	}
+}
+
+func TestCountOrderedPartitionsOverflow(t *testing.T) {
+	if strconv.IntSize != 64 {
+		t.Skip("overflow boundary pinned for 64-bit int")
+	}
+	// a(18) is the last Fubini number that fits in int64.
+	got, err := CountOrderedPartitionsChecked(18)
+	if err != nil {
+		t.Fatalf("CountOrderedPartitionsChecked(18): %v", err)
+	}
+	if want := int(3385534663256845323); got != want {
+		t.Fatalf("a(18) = %d, want %d", got, want)
+	}
+	// a(19) ≈ 9.28e19 is the first overflowing n: explicit error, not a wrap.
+	if _, err := CountOrderedPartitionsChecked(19); err == nil {
+		t.Fatal("CountOrderedPartitionsChecked(19) should overflow")
+	} else if !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("overflow error should say so: %v", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("CountOrderedPartitions(19) should panic on overflow")
+		}
+		if !strings.Contains(fmt.Sprint(r), "overflow") {
+			t.Fatalf("panic message should mention overflow: %v", r)
+		}
+	}()
+	CountOrderedPartitions(19)
+}
+
+func TestBinomialCheckedOverflow(t *testing.T) {
+	if strconv.IntSize != 64 {
+		t.Skip("overflow boundary pinned for 64-bit int")
+	}
+	if v, err := binomialChecked(60, 30); err != nil || v != 118264581564861424 {
+		t.Fatalf("C(60,30) = %d, %v; want 118264581564861424", v, err)
+	}
+	if _, err := binomialChecked(66, 33); err == nil {
+		t.Fatal("C(66,33) should overflow int64")
+	}
+}
+
+func TestCanonicalStringDistinguishes(t *testing.T) {
+	a := Simplex(2)
+	b := Simplex(2)
+	if a.CanonicalString() != b.CanonicalString() {
+		t.Fatal("equal complexes must have equal canonical strings")
+	}
+	if a.CanonicalString() == Simplex(1).CanonicalString() {
+		t.Fatal("different complexes must differ")
+	}
+	if SDS(a).CanonicalString() == SDSPow(a, 2).CanonicalString() {
+		t.Fatal("different subdivision levels must differ")
+	}
+}
+
+func BenchmarkSDSPowSequential(b *testing.B) {
+	base := Simplex(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SDSPow(base, 3)
+	}
+}
+
+func BenchmarkSDSPowParallel(b *testing.B) {
+	base := Simplex(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SDSPowParallel(base, 3, 0)
+	}
+}

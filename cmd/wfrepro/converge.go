@@ -24,8 +24,10 @@ func cmdConverge(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, stop := signalContext()
+	defer stop()
 	if *asJSON {
-		resp, err := engine.New(engine.Options{}).Converge(engine.ConvergeRequest{
+		resp, err := engine.New(engine.Options{}).Converge(ctx, engine.ConvergeRequest{
 			N: *n, Target: *target, MaxK: *maxK,
 		})
 		if err != nil {
@@ -37,7 +39,7 @@ func cmdConverge(args []string) error {
 	base := topology.Simplex(*n)
 	a := topology.SDSPow(base, *target)
 	fmt.Printf("Theorem 5.1: searching for SDS^k(s%d) → SDS^%d(s%d), k ≤ %d\n", *n, *target, *n, *maxK)
-	phi, k, err := converge.FindChromaticMap(base, a, *maxK)
+	phi, k, err := converge.FindChromaticMapCtx(ctx, base, a, *maxK)
 	if err != nil {
 		return err
 	}
@@ -62,7 +64,7 @@ func cmdConverge(args []string) error {
 	fmt.Printf("  %d/%d runs converged to simplices of A with carriers inside the participants\n", *trials, *trials)
 
 	bsd := topology.Bsd(base)
-	if _, kb, err := converge.FindCarrierMap(base, bsd, *maxK); err == nil {
+	if _, kb, err := converge.FindCarrierMapCtx(ctx, base, bsd, *maxK); err == nil {
 		fmt.Printf("Lemma 5.3: carrier-preserving SDS^%d(s%d) → Bsd(s%d) found\n", kb, *n, *n)
 	}
 

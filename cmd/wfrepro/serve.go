@@ -1,11 +1,7 @@
 package main
 
 import (
-	"context"
 	"fmt"
-	"os"
-	"os/signal"
-	"syscall"
 
 	"waitfree/internal/engine"
 	"waitfree/internal/serve"
@@ -18,6 +14,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "localhost:8080", "listen address")
 	cacheSize := fs.Int("cache", engine.DefaultCacheSize, "in-memory cache entries")
 	spill := fs.String("spill", "", "directory for the gob spill-to-disk tier (empty = memory only)")
+	spillMax := fs.Int64("spillmax", engine.DefaultSpillMaxBytes, "byte budget for the spill dir (oldest files swept first)")
 	workers := fs.Int("workers", 0, "subdivision/solver workers (0 = NumCPU)")
 	maxconc := fs.Int("maxconc", serve.DefaultMaxConcurrent, "max concurrent requests")
 	timeout := fs.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
@@ -25,10 +22,10 @@ func cmdServe(args []string) error {
 		return err
 	}
 
-	eng := engine.New(engine.Options{CacheSize: *cacheSize, SpillDir: *spill, Workers: *workers})
+	eng := engine.New(engine.Options{CacheSize: *cacheSize, SpillDir: *spill, SpillMaxBytes: *spillMax, Workers: *workers})
 	srv := serve.NewServer(eng, serve.Options{MaxConcurrent: *maxconc, Timeout: *timeout})
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signalContext()
 	defer stop()
 
 	ready := make(chan string, 1)

@@ -25,8 +25,10 @@ func cmdSolve(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, stop := signalContext()
+	defer stop()
 	if *asJSON {
-		resp, err := engine.New(engine.Options{}).Solve(engine.SolveRequest{
+		resp, err := engine.New(engine.Options{}).Solve(ctx, engine.SolveRequest{
 			Spec:     engine.TaskSpec{Family: *family, Procs: *procs, K: *k, D: *d, M: *m},
 			MaxLevel: *maxB,
 		})
@@ -51,7 +53,7 @@ func cmdSolve(args []string) error {
 	}
 	fmt.Println("Proposition 3.1 checker: ∃ color-preserving simplicial map SDS^b(I) → O respecting Δ?")
 	for _, j := range jobs {
-		res, err := solver.SolveUpTo(j.task, j.maxB, solver.Options{})
+		res, err := solver.SolveUpToCtx(ctx, j.task, j.maxB, solver.Options{})
 		if err != nil {
 			fmt.Printf("  %-24s budget exceeded: %v\n", j.task.Name, err)
 			continue

@@ -15,6 +15,7 @@
 package converge
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -26,24 +27,40 @@ import (
 // ErrNotFound reports that no map exists up to the given level.
 var ErrNotFound = errors.New("converge: no simplicial map found up to max level")
 
+// cancelCheckInterval is the cadence, in backtracking nodes, of the
+// cooperative cancellation checkpoint in searchMap (mirrors the solver's).
+const cancelCheckInterval = 4096
+
 // FindChromaticMap searches for a color-preserving, carrier-respecting
 // simplicial map SDS^k(base) → a, trying k = 0 … maxK, and returns the map
 // and the level found. a must be a chromatic subdivision of base.
 func FindChromaticMap(base, a *topology.Complex, maxK int) (*topology.SimplicialMap, int, error) {
+	return FindChromaticMapCtx(context.Background(), base, a, maxK)
+}
+
+// FindChromaticMapCtx is FindChromaticMap honoring ctx: the per-level
+// backtracking search and the subdivision between levels stop cooperatively
+// when ctx is done, returning an error wrapping ctx.Err().
+func FindChromaticMapCtx(ctx context.Context, base, a *topology.Complex, maxK int) (*topology.SimplicialMap, int, error) {
 	if !a.IsChromatic() {
 		return nil, 0, fmt.Errorf("converge: target complex is not chromatic")
 	}
-	return findMap(base, a, maxK, true)
+	return findMap(ctx, base, a, maxK, true)
 }
 
 // FindCarrierMap is the non-chromatic variant (Lemma 5.3): it searches for a
 // carrier-respecting simplicial map SDS^k(base) → a ignoring colors. Use it
 // with barycentric subdivisions and other uncolored targets.
 func FindCarrierMap(base, a *topology.Complex, maxK int) (*topology.SimplicialMap, int, error) {
-	return findMap(base, a, maxK, false)
+	return FindCarrierMapCtx(context.Background(), base, a, maxK)
 }
 
-func findMap(base, a *topology.Complex, maxK int, chromatic bool) (*topology.SimplicialMap, int, error) {
+// FindCarrierMapCtx is FindCarrierMap honoring ctx.
+func FindCarrierMapCtx(ctx context.Context, base, a *topology.Complex, maxK int) (*topology.SimplicialMap, int, error) {
+	return findMap(ctx, base, a, maxK, false)
+}
+
+func findMap(ctx context.Context, base, a *topology.Complex, maxK int, chromatic bool) (*topology.SimplicialMap, int, error) {
 	if ab := a.Base(); ab != base {
 		return nil, 0, fmt.Errorf("converge: target is not a subdivision of the given base")
 	}
@@ -63,10 +80,21 @@ func findMap(base, a *topology.Complex, maxK int, chromatic bool) (*topology.Sim
 	}
 	sub := base
 	for k := 0; k <= maxK; k++ {
-		if k > 0 {
-			sub = topology.SDS(sub)
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("converge: search canceled: %w", err)
 		}
-		if m, ok := searchMap(sub, a, domainFor); ok {
+		if k > 0 {
+			next, err := topology.SDSParallelCtx(ctx, sub, 0)
+			if err != nil {
+				return nil, 0, err
+			}
+			sub = next
+		}
+		m, ok, err := searchMap(ctx, sub, a, domainFor)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ok {
 			return m, k, nil
 		}
 	}
@@ -75,15 +103,17 @@ func findMap(base, a *topology.Complex, maxK int, chromatic bool) (*topology.Sim
 
 // searchMap backtracks over vertex assignments from sub to a: each vertex is
 // assigned within its domain (computed by domainFor) such that every simplex
-// of sub maps to a simplex of a.
-func searchMap(sub, a *topology.Complex, domainFor func(*topology.Complex, topology.Vertex) []topology.Vertex) (*topology.SimplicialMap, bool) {
+// of sub maps to a simplex of a. The loop checks ctx cooperatively every
+// cancelCheckInterval nodes, returning an error wrapping ctx.Err() when the
+// caller has gone away.
+func searchMap(ctx context.Context, sub, a *topology.Complex, domainFor func(*topology.Complex, topology.Vertex) []topology.Vertex) (*topology.SimplicialMap, bool, error) {
 	nv := sub.NumVertices()
 
 	domains := make([][]topology.Vertex, nv)
 	for v := 0; v < nv; v++ {
 		domains[v] = domainFor(sub, topology.Vertex(v))
 		if len(domains[v]) == 0 {
-			return nil, false
+			return nil, false, nil
 		}
 	}
 
@@ -106,13 +136,20 @@ func searchMap(sub, a *topology.Complex, domainFor func(*topology.Complex, topol
 	}
 
 	assign := make([]topology.Vertex, nv)
-	var dfs func(p int) bool
-	dfs = func(p int) bool {
+	var nodes int64
+	var dfs func(p int) (bool, error)
+	dfs = func(p int) (bool, error) {
 		if p == nv {
-			return true
+			return true, nil
 		}
 		v := order[p]
 		for _, w := range domains[v] {
+			nodes++
+			if nodes&(cancelCheckInterval-1) == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return false, fmt.Errorf("converge: search canceled: %w", cerr)
+				}
+			}
 			assign[v] = w
 			ok := true
 			for _, s := range checks[p] {
@@ -126,18 +163,25 @@ func searchMap(sub, a *topology.Complex, domainFor func(*topology.Complex, topol
 					break
 				}
 			}
-			if ok && dfs(p+1) {
-				return true
+			if ok {
+				found, err := dfs(p + 1)
+				if found || err != nil {
+					return found, err
+				}
 			}
 		}
-		return false
+		return false, nil
 	}
-	if !dfs(0) {
-		return nil, false
+	found, err := dfs(0)
+	if err != nil {
+		return nil, false, err
+	}
+	if !found {
+		return nil, false, nil
 	}
 	m := topology.NewSimplicialMap(sub, a)
 	copy(m.Image, assign)
-	return m, true
+	return m, true, nil
 }
 
 func dedupe(vs []topology.Vertex) []topology.Vertex {

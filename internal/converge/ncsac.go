@@ -1,6 +1,7 @@
 package converge
 
 import (
+	"context"
 	"fmt"
 
 	"waitfree/internal/protocol"
@@ -85,7 +86,11 @@ func SolveNCSACTwoProcess(c *topology.Complex, maxK int) (*NCSACSolution, error)
 		if k > 0 {
 			sub = topology.SDS(sub)
 		}
-		if m, ok := searchMap(sub, c, domainFor); ok {
+		m, ok, err := searchMap(context.Background(), sub, c, domainFor)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			return &NCSACSolution{C: c, I: in, Phi: m, K: k}, nil
 		}
 	}

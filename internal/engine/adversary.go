@@ -28,17 +28,17 @@ func AdversaryAlgos() []string {
 func RunAdversary(req AdversaryRequest) (*AdversaryResponse, error) {
 	n := req.Procs
 	if n < 1 {
-		return nil, fmt.Errorf("engine: need at least one process")
+		return nil, fmt.Errorf("%w: need at least one process", ErrInvalid)
 	}
 	if n > 8 {
-		return nil, fmt.Errorf("engine: procs=%d out of range [1,8]", n)
+		return nil, fmt.Errorf("%w: procs=%d out of range [1,8]", ErrInvalid, n)
 	}
 	if len(req.Crash) != 0 && len(req.Crash) != n {
-		return nil, fmt.Errorf("engine: crash vector has %d entries for %d processes", len(req.Crash), n)
+		return nil, fmt.Errorf("%w: crash vector has %d entries for %d processes", ErrInvalid, len(req.Crash), n)
 	}
 	adv, err := sched.NewAdversary(req.Adversary, req.Seed, n)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	ctl := sched.New(sched.Config{Procs: n, Adversary: adv, CrashAt: req.Crash, MaxSteps: req.MaxSteps})
 
@@ -160,7 +160,7 @@ func RunAdversary(req AdversaryRequest) (*AdversaryResponse, error) {
 		}
 		memories = "1 board snapshot + per-(process,step) safe agreement objects"
 	default:
-		return nil, fmt.Errorf("engine: unknown algo %q (want one of %v)", req.Algo, AdversaryAlgos())
+		return nil, fmt.Errorf("%w: unknown algo %q (want one of %v)", ErrInvalid, req.Algo, AdversaryAlgos())
 	}
 
 	var be *sched.BudgetError

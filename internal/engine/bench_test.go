@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -13,7 +14,7 @@ var benchReq = SolveRequest{Spec: TaskSpec{Family: "consensus", Procs: 2}, MaxLe
 // iteration, nothing cached.
 func BenchmarkEngineSolveCold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := New(Options{}).Solve(benchReq); err != nil {
+		if _, err := New(Options{}).Solve(context.Background(), benchReq); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -23,12 +24,12 @@ func BenchmarkEngineSolveCold(b *testing.B) {
 // verdict cached before the timer starts.
 func BenchmarkEngineSolveWarm(b *testing.B) {
 	e := New(Options{})
-	if _, err := e.Solve(benchReq); err != nil {
+	if _, err := e.Solve(context.Background(), benchReq); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Solve(benchReq); err != nil {
+		if _, err := e.Solve(context.Background(), benchReq); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -52,7 +53,7 @@ func BenchmarkEngineSolveConcurrent(b *testing.B) {
 			wg.Add(1)
 			go func(c int) {
 				defer wg.Done()
-				if _, err := e.Solve(reqs[c%len(reqs)]); err != nil {
+				if _, err := e.Solve(context.Background(), reqs[c%len(reqs)]); err != nil {
 					b.Error(err)
 				}
 			}(c)

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -36,9 +37,17 @@ type Cache struct {
 	ll      *list.List // front = most recent
 	items   map[string]*list.Element
 	spill   string
+	spillMu sync.Mutex // serializes spill writes and budget sweeps
+	budget  int64      // spill-directory byte budget; ≤ 0 = DefaultSpillMaxBytes
 	codecs  map[string]cacheCodec
 	metrics *Metrics
 }
+
+// DefaultSpillMaxBytes bounds the spill directory when the caller does not
+// choose a budget: enough for thousands of gob'd verdicts and a deep
+// subdivision chain, small enough that an unattended server cannot fill a
+// disk.
+const DefaultSpillMaxBytes = 1 << 30 // 1 GiB
 
 type cacheEntry struct {
 	key string
@@ -46,10 +55,15 @@ type cacheEntry struct {
 }
 
 // NewCache returns a cache holding at most max entries in memory (max ≤ 0
-// means DefaultCacheSize). spillDir == "" disables the disk tier.
-func NewCache(max int, spillDir string, m *Metrics) *Cache {
+// means DefaultCacheSize). spillDir == "" disables the disk tier;
+// spillMaxBytes bounds the directory's total size (≤ 0 means
+// DefaultSpillMaxBytes).
+func NewCache(max int, spillDir string, spillMaxBytes int64, m *Metrics) *Cache {
 	if max <= 0 {
 		max = DefaultCacheSize
+	}
+	if spillMaxBytes <= 0 {
+		spillMaxBytes = DefaultSpillMaxBytes
 	}
 	if m == nil {
 		m = NewMetrics()
@@ -59,6 +73,7 @@ func NewCache(max int, spillDir string, m *Metrics) *Cache {
 		ll:      list.New(),
 		items:   make(map[string]*list.Element),
 		spill:   spillDir,
+		budget:  spillMaxBytes,
 		codecs:  make(map[string]cacheCodec),
 		metrics: m,
 	}
@@ -108,6 +123,11 @@ func (c *Cache) Get(key string) (any, bool) {
 		return nil, false
 	}
 	c.metrics.CacheDiskHits.Add(1)
+	// The entry is live in memory again; drop the gob so evict/rehydrate
+	// cycles do not accrete one file per generation. Re-eviction re-spills.
+	if os.Remove(c.spillPath(key)) == nil {
+		c.metrics.CacheSpillRemoved.Add(1)
+	}
 	c.Put(key, v)
 	return v, true
 }
@@ -154,6 +174,8 @@ func (c *Cache) spillEntry(ent *cacheEntry) {
 		return
 	}
 	tmp := c.spillPath(ent.key) + ".tmp"
+	c.spillMu.Lock()
+	defer c.spillMu.Unlock()
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return
 	}
@@ -162,6 +184,48 @@ func (c *Cache) spillEntry(ent *cacheEntry) {
 		return
 	}
 	c.metrics.CacheSpills.Add(1)
+	c.sweepSpillLocked()
+}
+
+// sweepSpillLocked enforces the spill directory's byte budget by deleting
+// the oldest gob files (by modification time — a proxy for least recently
+// spilled) until the directory fits. Caller holds spillMu.
+func (c *Cache) sweepSpillLocked() {
+	entries, err := os.ReadDir(c.spill)
+	if err != nil {
+		return
+	}
+	type spillFile struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	var files []spillFile
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".gob") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, spillFile{e.Name(), info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	if total <= c.budget {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= c.budget {
+			return
+		}
+		if os.Remove(filepath.Join(c.spill, f.name)) == nil {
+			total -= f.size
+			c.metrics.CacheSpillRemoved.Add(1)
+		}
+	}
 }
 
 // Len returns the number of in-memory entries.

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// spillDirBytes sums the sizes of the .gob files in dir.
+func spillDirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".gob") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+// TestSpillRehydrateRemovesFile pins the accretion fix: rehydrating an
+// evicted entry deletes its gob, so evict/rehydrate cycles do not leave one
+// file per generation behind.
+func TestSpillRehydrateRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMetrics()
+	c := NewCache(2, dir, 0, m)
+	c.registerCodec("cx",
+		func(v any) ([]byte, error) { return gobEncode(v.(*ComplexResponse)) },
+		func(data []byte) (any, error) { var r ComplexResponse; err := gobDecode(data, &r); return &r, err })
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("cx:n=%d", i), &ComplexResponse{N: i})
+	}
+	path := c.spillPath("cx:n=0")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("evicted entry should have a spill file: %v", err)
+	}
+	if _, ok := c.Get("cx:n=0"); !ok {
+		t.Fatal("evicted entry should rehydrate")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("rehydrated entry's gob should be removed, stat: %v", err)
+	}
+	if m.CacheSpillRemoved.Load() == 0 {
+		t.Fatal("rehydrate should count under cache_spill_removed")
+	}
+}
+
+// TestSpillByteBudgetSweep pins the disk bound: with a small byte budget the
+// spill directory stays within it no matter how many entries churn through,
+// with the oldest files swept first.
+func TestSpillByteBudgetSweep(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMetrics()
+	const budget = 4096
+	c := NewCache(1, dir, budget, m)
+	c.registerCodec("cx",
+		func(v any) ([]byte, error) { return gobEncode(v.(*ComplexResponse)) },
+		func(data []byte) (any, error) { var r ComplexResponse; err := gobDecode(data, &r); return &r, err })
+
+	// Each entry gobs to ~2KB, so an unswept directory would grow to ~40KB.
+	fv := make([]int, 1000)
+	for i := range fv {
+		fv[i] = i
+	}
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("cx:big=%d", i), &ComplexResponse{N: i, FVector: fv})
+	}
+
+	if got := spillDirBytes(t, dir); got > budget {
+		t.Fatalf("spill dir holds %d bytes, budget is %d", got, budget)
+	}
+	if m.CacheSpillRemoved.Load() == 0 {
+		t.Fatal("expected the sweep to remove over-budget files")
+	}
+	// No stray temp files left behind either.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -25,6 +27,9 @@ type Options struct {
 	// SpillDir, when set, enables the gob spill-to-disk tier for evicted
 	// artifacts (subdivisions, verdicts, convergence maps, replays).
 	SpillDir string
+	// SpillMaxBytes bounds the spill directory's total size; old files are
+	// swept oldest-first past the budget. 0 = DefaultSpillMaxBytes.
+	SpillMaxBytes int64
 	// Workers bounds subdivision/solver parallelism; 0 = runtime.NumCPU().
 	Workers int
 	// MaxNodes is the default per-level solver budget for requests that do
@@ -36,6 +41,12 @@ type Options struct {
 // concurrent use; identical in-flight queries are deduplicated so they cost
 // one computation, and every derived artifact is content-addressed in the
 // store for reuse across queries.
+//
+// Every query method takes a context and honors it end-to-end: the solver's
+// backtracking loop, the parallel subdivision, and the converge search all
+// checkpoint cooperatively, so a canceled or timed-out caller stops burning
+// CPU within one checkpoint interval. Cancellation surfaces as ErrCanceled;
+// abandoned partial work is never cached as a verdict.
 type Engine struct {
 	cache    *Cache
 	flights  flightGroup
@@ -48,7 +59,7 @@ type Engine struct {
 func New(o Options) *Engine {
 	m := NewMetrics()
 	e := &Engine{
-		cache:    NewCache(o.CacheSize, o.SpillDir, m),
+		cache:    NewCache(o.CacheSize, o.SpillDir, o.SpillMaxBytes, m),
 		workers:  o.Workers,
 		maxNodes: o.MaxNodes,
 		metrics:  m,
@@ -85,13 +96,32 @@ func (e *Engine) Metrics() *Metrics { return e.metrics }
 // CacheLen returns the number of in-memory cache entries.
 func (e *Engine) CacheLen() int { return e.cache.Len() }
 
+// canceledErr counts (at whole-query granularity) and wraps a cancellation
+// so callers can errors.Is(err, ErrCanceled) regardless of which layer the
+// context error surfaced from.
+func (e *Engine) canceledErr(topLevel bool, err error) error {
+	if topLevel {
+		e.metrics.Canceled.Add(1)
+	}
+	if errors.Is(err, ErrCanceled) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, err)
+}
+
 // do is the query spine: cache lookup, singleflight dedup of concurrent
 // misses, compute, store. CacheHits/CacheMisses are counted at whole-query
 // granularity — only top-level client queries bump them; internal artifact
 // lookups (the sds: chain a solve walks) count under "<op>_hit"/"<op>_miss"
 // named counters so N clients asking one question read as exactly one miss.
 // op names the latency histogram.
-func (e *Engine) do(op, key string, topLevel bool, compute func() (any, error)) (any, error) {
+//
+// ctx is the caller's; compute receives the flight's context, which stays
+// live while any subscriber remains and is canceled once all have
+// detached, so abandoned searches stop instead of running out their node
+// budgets. Errors — including a detaching caller's own ctx.Err() — are
+// never cached.
+func (e *Engine) do(ctx context.Context, op, key string, topLevel bool, compute func(ctx context.Context) (any, error)) (any, error) {
 	e.metrics.InFlight.Add(1)
 	start := time.Now()
 	defer func() {
@@ -110,7 +140,10 @@ func (e *Engine) do(op, key string, topLevel bool, compute func() (any, error)) 
 		hit()
 		return v, nil
 	}
-	v, err, shared := e.flights.Do(key, func() (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, e.canceledErr(topLevel, err)
+	}
+	v, err, shared := e.flights.Do(ctx, key, func(cctx context.Context) (any, error) {
 		if v, ok := e.cache.Get(key); ok {
 			hit()
 			return v, nil
@@ -120,7 +153,7 @@ func (e *Engine) do(op, key string, topLevel bool, compute func() (any, error)) 
 		} else {
 			e.metrics.Inc(op + "_miss")
 		}
-		v, err := compute()
+		v, err := compute(cctx)
 		if err != nil {
 			return nil, err
 		}
@@ -130,6 +163,9 @@ func (e *Engine) do(op, key string, topLevel bool, compute func() (any, error)) 
 	if shared {
 		e.metrics.Deduped.Add(1)
 	}
+	if err != nil && isCancellation(err) {
+		return nil, e.canceledErr(topLevel, err)
+	}
 	return v, err
 }
 
@@ -137,17 +173,17 @@ func (e *Engine) do(op, key string, topLevel bool, compute func() (any, error)) 
 // building missing levels one parallel subdivision at a time on top of the
 // deepest cached level. baseHash is hash(base.CanonicalString()), so two
 // tasks over equal input complexes share the whole chain.
-func (e *Engine) sdsLevel(base *topology.Complex, baseHash string, b int) (*topology.Complex, error) {
+func (e *Engine) sdsLevel(ctx context.Context, base *topology.Complex, baseHash string, b int) (*topology.Complex, error) {
 	if b == 0 {
 		return base, nil
 	}
 	key := fmt.Sprintf("sds:%s:b=%d", baseHash, b)
-	v, err := e.do("sds", key, false, func() (any, error) {
-		prev, err := e.sdsLevel(base, baseHash, b-1)
+	v, err := e.do(ctx, "sds", key, false, func(cctx context.Context) (any, error) {
+		prev, err := e.sdsLevel(cctx, base, baseHash, b-1)
 		if err != nil {
 			return nil, err
 		}
-		return topology.SDSParallel(prev, e.workers), nil
+		return topology.SDSParallelCtx(cctx, prev, e.workers)
 	})
 	if err != nil {
 		return nil, err
@@ -157,21 +193,24 @@ func (e *Engine) sdsLevel(base *topology.Complex, baseHash string, b int) (*topo
 
 // Solve answers a solvability query, reusing cached subdivision levels and
 // verdicts.
-func (e *Engine) Solve(req SolveRequest) (*SolveResponse, error) {
+func (e *Engine) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
 	if req.MaxLevel < 0 || req.MaxLevel > MaxSolveLevel {
-		return nil, fmt.Errorf("engine: max_level=%d out of range [0,%d]", req.MaxLevel, MaxSolveLevel)
+		return nil, fmt.Errorf("%w: max_level=%d out of range [0,%d]", ErrInvalid, req.MaxLevel, MaxSolveLevel)
+	}
+	if req.MaxNodes < 0 {
+		return nil, fmt.Errorf("%w: max_nodes=%d must be non-negative", ErrInvalid, req.MaxNodes)
 	}
 	if _, err := req.Spec.Build(); err != nil {
 		return nil, err // validate before hashing the query
 	}
-	v, err := e.do("solve", req.Key(), true, func() (any, error) { return e.computeSolve(req) })
+	v, err := e.do(ctx, "solve", req.Key(), true, func(cctx context.Context) (any, error) { return e.computeSolve(cctx, req) })
 	if err != nil {
 		return nil, err
 	}
 	return v.(*SolveResponse), nil
 }
 
-func (e *Engine) computeSolve(req SolveRequest) (*SolveResponse, error) {
+func (e *Engine) computeSolve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
 	task, err := req.Spec.Build()
 	if err != nil {
 		return nil, err
@@ -184,13 +223,13 @@ func (e *Engine) computeSolve(req SolveRequest) (*SolveResponse, error) {
 	baseHash := hashString(task.Inputs.CanonicalString())
 	var last *solver.Result
 	for b := 0; b <= req.MaxLevel; b++ {
-		sub, err := e.sdsLevel(task.Inputs, baseHash, b)
+		sub, err := e.sdsLevel(ctx, task.Inputs, baseHash, b)
 		if err != nil {
 			return nil, err
 		}
-		res, err := solver.SolveAtLevelOn(task, b, sub, opts)
+		res, err := solver.SolveAtLevelOn(ctx, task, b, sub, opts)
 		if err != nil {
-			return nil, err // typically solver.ErrBudget, wrapped with level and node count
+			return nil, err // solver.ErrBudget or solver.ErrCanceled, wrapped with level and node count
 		}
 		if res.Solvable {
 			if err := solver.VerifyDecisionMap(task, res); err != nil {
@@ -226,13 +265,13 @@ func solveResponse(req SolveRequest, res *solver.Result, verified bool) *SolveRe
 }
 
 // ComplexInfo answers a subdivision-shape query over the standard simplex.
-func (e *Engine) ComplexInfo(req ComplexRequest) (*ComplexResponse, error) {
+func (e *Engine) ComplexInfo(ctx context.Context, req ComplexRequest) (*ComplexResponse, error) {
 	if req.N < 0 || req.N > 3 || req.B < 0 || req.B > 3 || (req.N >= 3 && req.B >= 2) {
-		return nil, fmt.Errorf("engine: complex enumeration is exponential; need 0 ≤ n ≤ 3, 0 ≤ b ≤ 3, n·b small")
+		return nil, fmt.Errorf("%w: complex enumeration is exponential; need 0 ≤ n ≤ 3, 0 ≤ b ≤ 3, n·b small", ErrInvalid)
 	}
-	v, err := e.do("complex", req.Key(), true, func() (any, error) {
+	v, err := e.do(ctx, "complex", req.Key(), true, func(cctx context.Context) (any, error) {
 		base := topology.Simplex(req.N)
-		sub, err := e.sdsLevel(base, hashString(base.CanonicalString()), req.B)
+		sub, err := e.sdsLevel(cctx, base, hashString(base.CanonicalString()), req.B)
 		if err != nil {
 			return nil, err
 		}
@@ -256,25 +295,25 @@ func (e *Engine) ComplexInfo(req ComplexRequest) (*ComplexResponse, error) {
 
 // Converge answers a Theorem 5.1 query: the smallest k ≤ MaxK with a color-
 // and carrier-preserving simplicial map SDS^k(sⁿ) → SDS^target(sⁿ).
-func (e *Engine) Converge(req ConvergeRequest) (*ConvergeResponse, error) {
+func (e *Engine) Converge(ctx context.Context, req ConvergeRequest) (*ConvergeResponse, error) {
 	if req.N < 1 || req.N > 2 {
-		return nil, fmt.Errorf("engine: converge needs 1 ≤ n ≤ 2, got %d", req.N)
+		return nil, fmt.Errorf("%w: converge needs 1 ≤ n ≤ 2, got %d", ErrInvalid, req.N)
 	}
 	if req.Target < 1 || req.Target > 2 {
-		return nil, fmt.Errorf("engine: converge needs 1 ≤ target ≤ 2, got %d", req.Target)
+		return nil, fmt.Errorf("%w: converge needs 1 ≤ target ≤ 2, got %d", ErrInvalid, req.Target)
 	}
 	if req.MaxK < 0 || req.MaxK > 4 {
-		return nil, fmt.Errorf("engine: converge needs 0 ≤ max_k ≤ 4, got %d", req.MaxK)
+		return nil, fmt.Errorf("%w: converge needs 0 ≤ max_k ≤ 4, got %d", ErrInvalid, req.MaxK)
 	}
-	v, err := e.do("converge", req.Key(), true, func() (any, error) {
+	v, err := e.do(ctx, "converge", req.Key(), true, func(cctx context.Context) (any, error) {
 		base := topology.Simplex(req.N)
-		a, err := e.sdsLevel(base, hashString(base.CanonicalString()), req.Target)
+		a, err := e.sdsLevel(cctx, base, hashString(base.CanonicalString()), req.Target)
 		if err != nil {
 			return nil, err
 		}
 		// The cached chain's base is its own Simplex instance; FindChromaticMap
 		// compares base pointers, so converge against that instance.
-		phi, k, err := converge.FindChromaticMap(a.Base(), a, req.MaxK)
+		phi, k, err := converge.FindChromaticMapCtx(cctx, a.Base(), a, req.MaxK)
 		if err != nil {
 			return nil, err
 		}
@@ -298,8 +337,13 @@ func (e *Engine) Converge(req ConvergeRequest) (*ConvergeResponse, error) {
 
 // Adversary replays a deterministic schedule (cached — the replay is a pure
 // function of the request).
-func (e *Engine) Adversary(req AdversaryRequest) (*AdversaryResponse, error) {
-	v, err := e.do("adversary", req.Key(), true, func() (any, error) { return RunAdversary(req) })
+func (e *Engine) Adversary(ctx context.Context, req AdversaryRequest) (*AdversaryResponse, error) {
+	v, err := e.do(ctx, "adversary", req.Key(), true, func(cctx context.Context) (any, error) {
+		if err := cctx.Err(); err != nil {
+			return nil, err
+		}
+		return RunAdversary(req)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -23,7 +24,7 @@ func TestSolveVerdicts(t *testing.T) {
 		{TaskSpec{Family: "set-consensus", Procs: 3, K: 2}, 1, false, 1},
 	}
 	for _, tc := range cases {
-		resp, err := e.Solve(SolveRequest{Spec: tc.spec, MaxLevel: tc.maxLevel})
+		resp, err := e.Solve(context.Background(), SolveRequest{Spec: tc.spec, MaxLevel: tc.maxLevel})
 		if err != nil {
 			t.Fatalf("%v: %v", tc.spec, err)
 		}
@@ -40,14 +41,14 @@ func TestSolveVerdicts(t *testing.T) {
 func TestSolveWarmCacheHit(t *testing.T) {
 	e := New(Options{})
 	req := SolveRequest{Spec: TaskSpec{Family: "consensus", Procs: 2}, MaxLevel: 2}
-	cold, err := e.Solve(req)
+	cold, err := e.Solve(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := e.Metrics().CacheMisses.Load(); got != 1 {
 		t.Fatalf("cold solve should record exactly 1 query-level miss, got %d", got)
 	}
-	warm, err := e.Solve(req)
+	warm, err := e.Solve(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestSolveSharesSubdivisionAcrossSpecs(t *testing.T) {
 	// set-consensus(3,2) and set-consensus(3,3) have the same input complex
 	// (the single facet of ids), so the SDS chain is shared by content
 	// address.
-	if _, err := e.Solve(SolveRequest{Spec: TaskSpec{Family: "set-consensus", Procs: 3, K: 2}, MaxLevel: 1}); err != nil {
+	if _, err := e.Solve(context.Background(), SolveRequest{Spec: TaskSpec{Family: "set-consensus", Procs: 3, K: 2}, MaxLevel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	sdsKeys := 0
@@ -73,7 +74,7 @@ func TestSolveSharesSubdivisionAcrossSpecs(t *testing.T) {
 			sdsKeys++
 		}
 	}
-	if _, err := e.Solve(SolveRequest{Spec: TaskSpec{Family: "set-consensus", Procs: 3, K: 3}, MaxLevel: 1}); err != nil {
+	if _, err := e.Solve(context.Background(), SolveRequest{Spec: TaskSpec{Family: "set-consensus", Procs: 3, K: 3}, MaxLevel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	after := 0
@@ -97,7 +98,7 @@ func TestSingleflightDedup(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = e.Solve(req)
+			_, errs[i] = e.Solve(context.Background(), req)
 		}(i)
 	}
 	wg.Wait()
@@ -127,7 +128,7 @@ func TestFlightGroup(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err, sh := g.Do("k", func() (any, error) {
+			v, err, sh := g.Do(context.Background(), "k", func(context.Context) (any, error) {
 				<-start
 				computed++
 				time.Sleep(5 * time.Millisecond)
@@ -159,7 +160,7 @@ func TestFlightGroup(t *testing.T) {
 func TestCacheLRUAndSpill(t *testing.T) {
 	dir := t.TempDir()
 	m := NewMetrics()
-	c := NewCache(2, dir, m)
+	c := NewCache(2, dir, 0, m)
 	c.registerCodec("cx",
 		func(v any) ([]byte, error) { return gobEncode(v.(*ComplexResponse)) },
 		func(data []byte) (any, error) { var r ComplexResponse; err := gobDecode(data, &r); return &r, err })
@@ -190,13 +191,13 @@ func TestEngineSpillRoundTrip(t *testing.T) {
 	// A 1-entry cache forces every artifact through the disk tier.
 	e := New(Options{CacheSize: 1, SpillDir: dir})
 	req := SolveRequest{Spec: TaskSpec{Family: "approx-agreement", D: 2}, MaxLevel: 2}
-	first, err := e.Solve(req)
+	first, err := e.Solve(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The solve: entry was evicted by later sds: puts; the re-query must
 	// come back from disk with the identical verdict.
-	again, err := e.Solve(req)
+	again, err := e.Solve(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestEngineSpillRoundTrip(t *testing.T) {
 
 func TestComplexInfo(t *testing.T) {
 	e := New(Options{})
-	resp, err := e.ComplexInfo(ComplexRequest{N: 2, B: 1})
+	resp, err := e.ComplexInfo(context.Background(), ComplexRequest{N: 2, B: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,14 +224,14 @@ func TestComplexInfo(t *testing.T) {
 	if resp.Euler != 1 {
 		t.Fatalf("subdivided simplex must be contractible-like: χ=%d", resp.Euler)
 	}
-	if _, err := e.ComplexInfo(ComplexRequest{N: 3, B: 3}); err == nil {
+	if _, err := e.ComplexInfo(context.Background(), ComplexRequest{N: 3, B: 3}); err == nil {
 		t.Fatal("explosive parameters must be rejected")
 	}
 }
 
 func TestConverge(t *testing.T) {
 	e := New(Options{})
-	resp, err := e.Converge(ConvergeRequest{N: 1, Target: 1, MaxK: 2})
+	resp, err := e.Converge(context.Background(), ConvergeRequest{N: 1, Target: 1, MaxK: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,12 +246,12 @@ func TestConverge(t *testing.T) {
 func TestAdversaryReplayDeterministic(t *testing.T) {
 	e := New(Options{})
 	req := AdversaryRequest{Algo: "commitadopt", Adversary: "random", Seed: 42, Procs: 3, Crash: []int{2, -1, -1}}
-	a, err := e.Adversary(req)
+	a, err := e.Adversary(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Same triple through a fresh engine reproduces the same execution.
-	b, err := New(Options{}).Adversary(req)
+	b, err := New(Options{}).Adversary(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestSpecValidation(t *testing.T) {
 		{Spec: TaskSpec{Family: "consensus", Procs: 2}, MaxLevel: MaxSolveLevel + 1},
 	}
 	for _, req := range bad {
-		if _, err := e.Solve(req); err == nil {
+		if _, err := e.Solve(context.Background(), req); err == nil {
 			t.Fatalf("request %+v should be rejected", req)
 		}
 	}

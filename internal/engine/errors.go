@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"waitfree/internal/solver"
+)
+
+// The engine's error taxonomy. Every error leaving an Engine method wraps
+// one of these sentinels (or solver.ErrBudget), so callers — the serve
+// layer in particular — classify failures with errors.Is instead of
+// matching message substrings.
+var (
+	// ErrInvalid marks request-validation failures: unknown families,
+	// out-of-range parameters, malformed crash vectors. The query was never
+	// attempted; it is the client's fault.
+	ErrInvalid = errors.New("engine: invalid request")
+
+	// ErrCanceled marks queries abandoned mid-computation because the
+	// caller's context was canceled or its deadline expired. The partial
+	// work is discarded and nothing is cached — a canceled search is not a
+	// verdict.
+	ErrCanceled = errors.New("engine: query canceled")
+)
+
+// isCancellation reports whether err is any form of cooperative
+// cancellation: the engine's own sentinel, the solver's, or a bare context
+// error bubbling up from the subdivision or converge layers.
+func isCancellation(err error) bool {
+	return errors.Is(err, ErrCanceled) ||
+		errors.Is(err, solver.ErrCanceled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}

@@ -90,8 +90,13 @@ type Metrics struct {
 	CacheEvictions atomic.Int64
 	CacheSpills    atomic.Int64
 	CacheDiskHits  atomic.Int64
+	// Spill files removed by the byte-budget sweep or on rehydrate.
+	CacheSpillRemoved atomic.Int64
 	// Singleflight: queries that waited on an identical in-flight one.
 	Deduped atomic.Int64
+	// Queries abandoned mid-computation (client disconnect or deadline),
+	// counted at whole-query granularity like CacheHits/CacheMisses.
+	Canceled atomic.Int64
 	// Gauges.
 	InFlight   atomic.Int64
 	QueueDepth atomic.Int64
@@ -137,15 +142,17 @@ func (m *Metrics) Counter(name string) int64 {
 // suitable for JSON encoding on /metrics.
 func (m *Metrics) Snapshot() map[string]any {
 	out := map[string]any{
-		"cache_hits":      m.CacheHits.Load(),
-		"cache_misses":    m.CacheMisses.Load(),
-		"cache_evictions": m.CacheEvictions.Load(),
-		"cache_spills":    m.CacheSpills.Load(),
-		"cache_disk_hits": m.CacheDiskHits.Load(),
-		"deduped":         m.Deduped.Load(),
-		"in_flight":       m.InFlight.Load(),
-		"queue_depth":     m.QueueDepth.Load(),
-		"rejected":        m.Rejected.Load(),
+		"cache_hits":          m.CacheHits.Load(),
+		"cache_misses":        m.CacheMisses.Load(),
+		"cache_evictions":     m.CacheEvictions.Load(),
+		"cache_spills":        m.CacheSpills.Load(),
+		"cache_disk_hits":     m.CacheDiskHits.Load(),
+		"cache_spill_removed": m.CacheSpillRemoved.Load(),
+		"deduped":             m.Deduped.Load(),
+		"canceled":            m.Canceled.Load(),
+		"in_flight":           m.InFlight.Load(),
+		"queue_depth":         m.QueueDepth.Load(),
+		"rejected":            m.Rejected.Load(),
 	}
 	m.mu.Lock()
 	names := make([]string, 0, len(m.counters))

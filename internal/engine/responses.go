@@ -134,7 +134,7 @@ func ParseCrashVector(s string, n int) ([]int, error) {
 	}
 	fields := strings.Split(s, ",")
 	if len(fields) > n {
-		return nil, fmt.Errorf("crash vector has %d entries for %d processes", len(fields), n)
+		return nil, fmt.Errorf("%w: crash vector has %d entries for %d processes", ErrInvalid, len(fields), n)
 	}
 	out := make([]int, n)
 	for i := range out {
@@ -144,7 +144,7 @@ func ParseCrashVector(s string, n int) ([]int, error) {
 	for i, f := range fields {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			return nil, fmt.Errorf("bad crash entry %q: %w", f, err)
+			return nil, fmt.Errorf("%w: bad crash entry %q: %v", ErrInvalid, f, err)
 		}
 		out[i] = v
 		if v < 0 {
@@ -153,7 +153,7 @@ func ParseCrashVector(s string, n int) ([]int, error) {
 	}
 	live += n - len(fields)
 	if live == 0 {
-		return nil, fmt.Errorf("crash vector %v crashes every process; wait-freedom is about proper subsets", out)
+		return nil, fmt.Errorf("%w: crash vector %v crashes every process; wait-freedom is about proper subsets", ErrInvalid, out)
 	}
 	return out, nil
 }

@@ -1,44 +1,108 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"fmt"
+	"sync"
+)
 
 // flightGroup deduplicates concurrent calls with the same key: the first
-// caller (the leader) runs fn, everyone else blocks and shares the leader's
-// result. A minimal re-implementation of golang.org/x/sync/singleflight —
-// the repository deliberately depends only on the standard library.
+// caller starts the computation, everyone else subscribes to its result. A
+// minimal re-implementation of golang.org/x/sync/singleflight — the
+// repository deliberately depends only on the standard library — extended
+// with two request-lifecycle guarantees:
+//
+//   - a caller whose own context is canceled detaches immediately without
+//     killing the computation: remaining subscribers still get the result,
+//     and the result is still cached. Only when the *last* subscriber
+//     walks away is the compute context canceled, so fully abandoned work
+//     is reclaimed instead of burning its node budget down;
+//   - a panicking compute function is recovered into an error delivered to
+//     every subscriber, and the key is always cleaned up, so one panic
+//     neither strands waiters nor poisons the key for the process's
+//     lifetime.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flightCall
 }
 
+// flightCall is one in-flight computation. fn runs in its own goroutine
+// under a context detached from any single caller; refs counts the
+// subscribed callers (guarded by the group mutex), and cancel fires when
+// refs drains to zero before the call completes.
 type flightCall struct {
-	wg  sync.WaitGroup
-	val any
-	err error
+	done   chan struct{} // closed once val/err are final
+	val    any
+	err    error
+	refs   int
+	cancel context.CancelFunc
 }
 
-// Do runs fn once per key among concurrent callers. shared reports whether
-// this caller received another call's result instead of computing its own.
-func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+// Do runs fn once per key among concurrent callers and returns its result.
+// shared reports whether this caller subscribed to another call's
+// computation instead of starting its own. If ctx is canceled before the
+// computation finishes, Do returns ctx.Err() promptly; the computation
+// itself continues as long as at least one subscriber remains.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (val any, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
 	}
 	if c, ok := g.m[key]; ok {
+		c.refs++
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+		return g.wait(ctx, key, c, true)
 	}
-	c := &flightCall{}
-	c.wg.Add(1)
+	// The compute context is deliberately rooted in Background, not ctx:
+	// the starting caller may detach (client disconnect) while later
+	// subscribers still want the answer.
+	cctx, cancel := context.WithCancel(context.Background())
+	c := &flightCall{done: make(chan struct{}), refs: 1, cancel: cancel}
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
-	c.wg.Done()
+	go g.run(key, c, cctx, fn)
+	return g.wait(ctx, key, c, false)
+}
 
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	return c.val, c.err, false
+// run executes fn and publishes the result. The deferred recover turns a
+// panic into an error for all subscribers; cleanup (key removal, context
+// release, done broadcast) runs on every path.
+func (g *flightGroup) run(key string, c *flightCall, cctx context.Context, fn func(context.Context) (any, error)) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.val, c.err = nil, fmt.Errorf("engine: singleflight compute for %q panicked: %v", key, r)
+		}
+		g.mu.Lock()
+		if g.m[key] == c {
+			delete(g.m, key)
+		}
+		g.mu.Unlock()
+		c.cancel()
+		close(c.done)
+	}()
+	c.val, c.err = fn(cctx)
+}
+
+// wait blocks until the call completes or the caller's context is done,
+// whichever is first. A detaching caller decrements the subscription
+// count; the last one out cancels the compute context and unpublishes the
+// key, so a later identical query starts fresh instead of subscribing to a
+// doomed flight.
+func (g *flightGroup) wait(ctx context.Context, key string, c *flightCall, shared bool) (any, error, bool) {
+	select {
+	case <-c.done:
+		return c.val, c.err, shared
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.refs--
+		if c.refs == 0 {
+			if g.m[key] == c {
+				delete(g.m, key)
+			}
+			c.cancel()
+		}
+		g.mu.Unlock()
+		return nil, ctx.Err(), shared
+	}
 }

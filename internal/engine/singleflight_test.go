@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupPanic pins the recovery guarantee: a panicking compute fn
+// must deliver an error to every subscriber (not strand them on a channel
+// that never closes), and the key must be usable again afterwards.
+func TestFlightGroupPanic(t *testing.T) {
+	var g flightGroup
+	start := make(chan struct{})
+	const n = 5
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i], _ = g.Do(context.Background(), "k", func(context.Context) (any, error) {
+				<-start
+				panic("boom")
+			})
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let all callers subscribe
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("caller %d: got %v, want a panic-recovery error", i, err)
+		}
+	}
+	// The key is not poisoned: a fresh call computes normally.
+	v, err, _ := g.Do(context.Background(), "k", func(context.Context) (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("post-panic Do: %v %v, want 7 <nil>", v, err)
+	}
+}
+
+// TestFlightGroupWaiterDetach pins the detach semantics: a subscriber whose
+// context dies gets its ctx error promptly, while the computation keeps
+// running for the remaining subscriber and still yields the value.
+func TestFlightGroupWaiterDetach(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var leaderVal any
+	var leaderErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderVal, leaderErr, _ = g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return "answer", nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	begin := time.Now()
+	_, err, shared := g.Do(ctx, "k", func(context.Context) (any, error) {
+		t.Error("second caller must subscribe, not compute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("detached waiter: got %v, want context.Canceled", err)
+	}
+	if !shared {
+		t.Fatal("second caller should have subscribed to the in-flight call")
+	}
+	if d := time.Since(begin); d > time.Second {
+		t.Fatalf("detach took %v, want prompt return", d)
+	}
+
+	close(release)
+	wg.Wait()
+	if leaderErr != nil || leaderVal.(string) != "answer" {
+		t.Fatalf("surviving subscriber: %v %v, want answer <nil>", leaderVal, leaderErr)
+	}
+}
+
+// TestFlightGroupAllAbandonCancels pins reclamation: once every subscriber
+// has detached, the compute context is canceled (the work stops burning its
+// budget) and the key is unpublished so a later call starts fresh.
+func TestFlightGroupAllAbandonCancels(t *testing.T) {
+	var g flightGroup
+	computeCanceled := make(chan struct{})
+	started := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(ctx, "k", func(cctx context.Context) (any, error) {
+			close(started)
+			<-cctx.Done()
+			close(computeCanceled)
+			return nil, cctx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning caller: got %v, want context.Canceled", err)
+	}
+	select {
+	case <-computeCanceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("compute context was not canceled after the last subscriber left")
+	}
+	// The key was unpublished on detach: a new call runs its own fn.
+	v, err, _ := g.Do(context.Background(), "k", func(context.Context) (any, error) { return 1, nil })
+	if err != nil || v.(int) != 1 {
+		t.Fatalf("post-abandon Do: %v %v, want 1 <nil>", v, err)
+	}
+}

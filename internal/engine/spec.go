@@ -66,12 +66,12 @@ const (
 // Build constructs the task, validating parameters.
 func (s TaskSpec) Build() (*tasks.Task, error) {
 	if s.Procs < 0 || s.Procs > maxSpecProcs {
-		return nil, fmt.Errorf("engine: procs=%d out of range [1,%d]", s.Procs, maxSpecProcs)
+		return nil, fmt.Errorf("%w: procs=%d out of range [1,%d]", ErrInvalid, s.Procs, maxSpecProcs)
 	}
 	procs := s.Procs
 	needProcs := func() error {
 		if procs < 1 {
-			return fmt.Errorf("engine: family %q needs procs ≥ 1", s.Family)
+			return fmt.Errorf("%w: family %q needs procs ≥ 1", ErrInvalid, s.Family)
 		}
 		return nil
 	}
@@ -91,15 +91,15 @@ func (s TaskSpec) Build() (*tasks.Task, error) {
 			return nil, err
 		}
 		if s.K < 1 || s.K > procs {
-			return nil, fmt.Errorf("engine: set-consensus needs 1 ≤ k ≤ procs, got k=%d procs=%d", s.K, procs)
+			return nil, fmt.Errorf("%w: set-consensus needs 1 ≤ k ≤ procs, got k=%d procs=%d", ErrInvalid, s.K, procs)
 		}
 		return tasks.SetConsensus(procs, s.K), nil
 	case "approx-agreement":
 		if procs != 0 && procs != 2 {
-			return nil, fmt.Errorf("engine: approx-agreement is 2-process (procs=%d)", procs)
+			return nil, fmt.Errorf("%w: approx-agreement is 2-process (procs=%d)", ErrInvalid, procs)
 		}
 		if s.D < 1 || s.D > maxSpecD {
-			return nil, fmt.Errorf("engine: approx-agreement needs 1 ≤ d ≤ %d, got %d", maxSpecD, s.D)
+			return nil, fmt.Errorf("%w: approx-agreement needs 1 ≤ d ≤ %d, got %d", ErrInvalid, maxSpecD, s.D)
 		}
 		return tasks.ApproxAgreement(s.D), nil
 	case "approx-agreement-n":
@@ -107,7 +107,7 @@ func (s TaskSpec) Build() (*tasks.Task, error) {
 			return nil, err
 		}
 		if s.D < 1 || s.D > 8 {
-			return nil, fmt.Errorf("engine: approx-agreement-n needs 1 ≤ d ≤ 8, got %d", s.D)
+			return nil, fmt.Errorf("%w: approx-agreement-n needs 1 ≤ d ≤ 8, got %d", ErrInvalid, s.D)
 		}
 		return tasks.ApproxAgreementN(procs, s.D), nil
 	case "renaming":
@@ -115,7 +115,7 @@ func (s TaskSpec) Build() (*tasks.Task, error) {
 			return nil, err
 		}
 		if s.M < procs || s.M > maxSpecM {
-			return nil, fmt.Errorf("engine: renaming needs procs ≤ m ≤ %d, got m=%d procs=%d", maxSpecM, s.M, procs)
+			return nil, fmt.Errorf("%w: renaming needs procs ≤ m ≤ %d, got m=%d procs=%d", ErrInvalid, maxSpecM, s.M, procs)
 		}
 		return tasks.Renaming(procs, s.M), nil
 	case "wsb":
@@ -124,6 +124,6 @@ func (s TaskSpec) Build() (*tasks.Task, error) {
 		}
 		return tasks.WeakSymmetryBreaking(procs), nil
 	default:
-		return nil, fmt.Errorf("engine: unknown task family %q (want one of %v)", s.Family, Families())
+		return nil, fmt.Errorf("%w: unknown task family %q (want one of %v)", ErrInvalid, s.Family, Families())
 	}
 }

@@ -19,10 +19,10 @@ import (
 	"net"
 	"net/http"
 	"strconv"
-	"strings"
 	"time"
 
 	"waitfree/internal/engine"
+	"waitfree/internal/solver"
 )
 
 // Options configures a Server.
@@ -128,18 +128,36 @@ func (s *Server) instrument(name string, w http.ResponseWriter, fn func() (any, 
 	}
 }
 
-// statusFor maps engine errors to HTTP statuses: validation errors (bad
-// parameters, out-of-range sizes) are the client's fault; anything else is
-// a 500.
+// StatusClientClosedRequest is the (nginx-conventional) status recorded
+// when the client disconnected before the answer was computed. Nobody
+// receives the response body, but the status lands in metrics and logs.
+const StatusClientClosedRequest = 499
+
+// statusFor maps the engine's typed error taxonomy to HTTP statuses via
+// errors.Is — no message matching:
+//
+//	engine.ErrInvalid                → 400 (the request was never attempted)
+//	context.DeadlineExceeded         → 503 (the server's deadline expired)
+//	engine.ErrCanceled / Canceled    → 499 (the client went away)
+//	solver.ErrBudget                 → 503 (no verdict within the node budget)
+//	anything else                    → 500
+//
+// DeadlineExceeded is checked before ErrCanceled: the engine wraps every
+// cancellation — including timeouts — in ErrCanceled, and a deadline is the
+// server giving up, not the client.
 func statusFor(err error) int {
-	msg := err.Error()
-	if strings.Contains(msg, "out of range") || strings.Contains(msg, "unknown") ||
-		strings.Contains(msg, "need") || strings.Contains(msg, "invalid") ||
-		strings.Contains(msg, "exponential") || strings.Contains(msg, "crash vector") ||
-		strings.Contains(msg, "at least one process") {
+	switch {
+	case errors.Is(err, engine.ErrInvalid):
 		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrCanceled), errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, solver.ErrBudget):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
 	}
-	return http.StatusInternalServerError
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
@@ -154,39 +172,39 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return s.eng.Solve(req)
+		return s.eng.Solve(r.Context(), req)
 	})
 }
 
 func (s *Server) handleComplex(w http.ResponseWriter, r *http.Request) {
 	s.instrument("complex", w, func() (any, error) {
-		n, err := intParam(r, "n", 2)
+		n, err := intParamRange(r, "n", 2, 0, 8)
 		if err != nil {
 			return nil, err
 		}
-		b, err := intParam(r, "b", 1)
+		b, err := intParamRange(r, "b", 1, 0, 8)
 		if err != nil {
 			return nil, err
 		}
-		return s.eng.ComplexInfo(engine.ComplexRequest{N: n, B: b})
+		return s.eng.ComplexInfo(r.Context(), engine.ComplexRequest{N: n, B: b})
 	})
 }
 
 func (s *Server) handleConverge(w http.ResponseWriter, r *http.Request) {
 	s.instrument("converge", w, func() (any, error) {
-		n, err := intParam(r, "n", 1)
+		n, err := intParamRange(r, "n", 1, 0, 8)
 		if err != nil {
 			return nil, err
 		}
-		target, err := intParam(r, "target", 1)
+		target, err := intParamRange(r, "target", 1, 0, 8)
 		if err != nil {
 			return nil, err
 		}
-		maxk, err := intParam(r, "maxk", 3)
+		maxk, err := intParamRange(r, "maxk", 3, 0, 8)
 		if err != nil {
 			return nil, err
 		}
-		return s.eng.Converge(engine.ConvergeRequest{N: n, Target: target, MaxK: maxk})
+		return s.eng.Converge(r.Context(), engine.ConvergeRequest{N: n, Target: target, MaxK: maxk})
 	})
 }
 
@@ -196,7 +214,7 @@ func (s *Server) handleAdversary(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return s.eng.Adversary(req)
+		return s.eng.Adversary(r.Context(), req)
 	})
 }
 
@@ -216,25 +234,25 @@ func parseSolve(r *http.Request) (engine.SolveRequest, error) {
 	var req engine.SolveRequest
 	req.Spec.Family = r.URL.Query().Get("family")
 	if req.Spec.Family == "" {
-		return req, fmt.Errorf("invalid request: family is required (one of %v)", engine.Families())
+		return req, fmt.Errorf("%w: family is required (one of %v)", engine.ErrInvalid, engine.Families())
 	}
 	var err error
-	if req.Spec.Procs, err = intParam(r, "procs", 0); err != nil {
+	if req.Spec.Procs, err = intParamRange(r, "procs", 0, 0, 64); err != nil {
 		return req, err
 	}
-	if req.Spec.K, err = intParam(r, "k", 0); err != nil {
+	if req.Spec.K, err = intParamRange(r, "k", 0, 0, 64); err != nil {
 		return req, err
 	}
-	if req.Spec.D, err = intParam(r, "d", 0); err != nil {
+	if req.Spec.D, err = intParamRange(r, "d", 0, 0, 1<<20); err != nil {
 		return req, err
 	}
-	if req.Spec.M, err = intParam(r, "m", 0); err != nil {
+	if req.Spec.M, err = intParamRange(r, "m", 0, 0, 64); err != nil {
 		return req, err
 	}
-	if req.MaxLevel, err = intParam(r, "maxb", 2); err != nil {
+	if req.MaxLevel, err = intParamRange(r, "maxb", 2, 0, engine.MaxSolveLevel); err != nil {
 		return req, err
 	}
-	maxNodes, err := intParam(r, "maxnodes", 0)
+	maxNodes, err := intParamRange(r, "maxnodes", 0, 0, 1<<62)
 	if err != nil {
 		return req, err
 	}
@@ -248,14 +266,14 @@ func parseAdversary(r *http.Request) (engine.AdversaryRequest, error) {
 	q := r.URL.Query()
 	req.Algo = q.Get("algo")
 	if req.Algo == "" {
-		return req, fmt.Errorf("invalid request: algo is required (one of %v)", engine.AdversaryAlgos())
+		return req, fmt.Errorf("%w: algo is required (one of %v)", engine.ErrInvalid, engine.AdversaryAlgos())
 	}
 	req.Adversary = q.Get("adversary")
 	if req.Adversary == "" {
 		req.Adversary = "round-robin"
 	}
 	var err error
-	if req.Procs, err = intParam(r, "procs", 3); err != nil {
+	if req.Procs, err = intParamRange(r, "procs", 3, 1, 8); err != nil {
 		return req, err
 	}
 	seed, err := intParam(r, "seed", 1)
@@ -263,6 +281,7 @@ func parseAdversary(r *http.Request) (engine.AdversaryRequest, error) {
 		return req, err
 	}
 	req.Seed = int64(seed)
+	// maxsteps < 0 is meaningful (= unlimited budget, mirroring the CLI).
 	if req.MaxSteps, err = intParam(r, "maxsteps", 0); err != nil {
 		return req, err
 	}
@@ -282,7 +301,21 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	}
 	v, err := strconv.Atoi(s)
 	if err != nil {
-		return 0, fmt.Errorf("invalid request: %s=%q is not an integer", name, s)
+		return 0, fmt.Errorf("%w: %s=%q is not an integer", engine.ErrInvalid, name, s)
+	}
+	return v, nil
+}
+
+// intParamRange is intParam plus a [min, max] sanity window, so negative or
+// absurd values are rejected at the door instead of reaching the engine
+// raw. The engine still applies its own (tighter, per-family) bounds.
+func intParamRange(r *http.Request, name string, def, min, max int) (int, error) {
+	v, err := intParam(r, name, def)
+	if err != nil {
+		return 0, err
+	}
+	if v < min || v > max {
+		return 0, fmt.Errorf("%w: %s=%d out of range [%d,%d]", engine.ErrInvalid, name, v, min, max)
 	}
 	return v, nil
 }
@@ -310,6 +343,17 @@ func Run(ctx context.Context, addr string, s *Server, ready chan<- string) error
 	case <-ctx.Done():
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return srv.Shutdown(shutCtx)
+		shutErr := srv.Shutdown(shutCtx)
+		// Shutdown makes srv.Serve return promptly; drain its error so the
+		// goroutine is never abandoned and a real serve failure (anything
+		// but the expected ErrServerClosed) is surfaced.
+		serveErr := <-errc
+		if shutErr != nil {
+			return shutErr
+		}
+		if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+			return serveErr
+		}
+		return nil
 	}
 }

@@ -73,13 +73,13 @@ func TestSolveEndpoint(t *testing.T) {
 func TestEndpointErrors(t *testing.T) {
 	_, ts := newTestServer(t, engine.Options{}, Options{})
 	for _, path := range []string{
-		"/v1/solve",                      // missing family
-		"/v1/solve?family=nonsense",      // unknown family
-		"/v1/solve?family=consensus&procs=2&maxb=99", // level out of range
-		"/v1/solve?family=consensus&procs=banana",    // non-integer
-		"/v1/complex?n=3&b=3",                        // explosive
-		"/v1/converge?n=7",                           // out of range
-		"/v1/adversary",                              // missing algo
+		"/v1/solve",                 // missing family
+		"/v1/solve?family=nonsense", // unknown family
+		"/v1/solve?family=consensus&procs=2&maxb=99",       // level out of range
+		"/v1/solve?family=consensus&procs=banana",          // non-integer
+		"/v1/complex?n=3&b=3",                              // explosive
+		"/v1/converge?n=7",                                 // out of range
+		"/v1/adversary",                                    // missing algo
 		"/v1/adversary?algo=commitadopt&procs=2&crash=0,0", // all-crash vector
 	} {
 		code, body := get(t, ts.URL+path)

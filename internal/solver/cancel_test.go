@@ -1,0 +1,71 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"waitfree/internal/tasks"
+	"waitfree/internal/topology"
+)
+
+// TestSolveCanceledBeforeSearch pins the entry checkpoint: a context dead on
+// arrival yields ErrCanceled wrapping the context error, with no search run.
+func TestSolveCanceledBeforeSearch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	task := tasks.SetConsensus(3, 2)
+	_, err := SolveAtLevelOn(ctx, task, 0, task.Inputs, Options{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("%v should wrap context.Canceled", err)
+	}
+}
+
+// TestSolveCanceledMidSearch pins the in-loop checkpoint: cancellation during
+// an exhaustive unsolvability proof stops the backtracking within one
+// checkpoint interval instead of running the level to completion.
+func TestSolveCanceledMidSearch(t *testing.T) {
+	task := tasks.SetConsensus(3, 2)
+	sub := topology.SDSPow(task.Inputs, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := SolveAtLevelOn(ctx, task, 2, sub, Options{MaxNodes: 1 << 40})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("canceled search ran %v, want prompt stop", d)
+	}
+}
+
+// TestSolveDeadlineMidSearch does the same through a deadline, which must
+// surface distinguishably (DeadlineExceeded, not Canceled).
+func TestSolveDeadlineMidSearch(t *testing.T) {
+	task := tasks.SetConsensus(3, 2)
+	sub := topology.SDSPow(task.Inputs, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := SolveAtLevelOn(ctx, task, 2, sub, Options{MaxNodes: 1 << 40})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+// TestBudgetStillTyped pins that the pre-existing budget error remains
+// distinguishable from cancellation.
+func TestBudgetStillTyped(t *testing.T) {
+	task := tasks.SetConsensus(3, 2)
+	sub := topology.SDSPow(task.Inputs, 2)
+	_, err := SolveAtLevelOn(context.Background(), task, 2, sub, Options{MaxNodes: 10_000})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("got %v, want ErrBudget", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatalf("budget exhaustion must not read as cancellation: %v", err)
+	}
+}

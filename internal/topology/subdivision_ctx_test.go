@@ -1,0 +1,41 @@
+package topology
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSDSParallelCtxMatchesSequential pins that the ctx-aware path is
+// output-identical to the sequential construction when not canceled.
+func TestSDSParallelCtxMatchesSequential(t *testing.T) {
+	base := Simplex(2)
+	want := SDS(base).CanonicalString()
+	got, err := SDSParallelCtx(context.Background(), base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CanonicalString() != want {
+		t.Fatal("SDSParallelCtx output differs from SDS")
+	}
+	pow, err := SDSPowParallelCtx(context.Background(), base, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pow.CanonicalString() != SDSPow(base, 2).CanonicalString() {
+		t.Fatal("SDSPowParallelCtx output differs from SDSPow")
+	}
+}
+
+// TestSDSParallelCtxCanceled pins the abort path: a context dead on arrival
+// stops the construction with an error wrapping the context error.
+func TestSDSParallelCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SDSParallelCtx(ctx, Simplex(2), 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want an error wrapping context.Canceled", err)
+	}
+	if _, err := SDSPowParallelCtx(ctx, Simplex(2), 2, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pow: got %v, want an error wrapping context.Canceled", err)
+	}
+}

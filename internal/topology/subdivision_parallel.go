@@ -1,9 +1,16 @@
 package topology
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// mergeCheckInterval is the cadence, in facets, of the cancellation
+// checkpoint inside the sequential merge of SDSParallelCtx.
+const mergeCheckInterval = 64
 
 // SDSParallel is SDS computed with a per-facet worker pool. The result is
 // vertex-for-vertex identical to SDS(c): every facet's subdivision is
@@ -16,6 +23,18 @@ func SDSParallel(c *Complex, workers int) *Complex {
 	return SDSParallelStructured(c, workers).Complex
 }
 
+// SDSParallelCtx is SDSParallel honoring ctx: the per-facet workers and the
+// merge both check for cancellation cooperatively and abandon the
+// construction, returning an error wrapping ctx.Err(). On success the
+// result is identical to SDSParallel's.
+func SDSParallelCtx(ctx context.Context, c *Complex, workers int) (*Complex, error) {
+	lvl, err := sdsParallelStructured(ctx, c, workers)
+	if err != nil {
+		return nil, err
+	}
+	return lvl.Complex, nil
+}
+
 // SDSPowParallel returns SDS^b(c) with each level subdivided by SDSParallel.
 // The output is identical to SDSPow(c, b).
 func SDSPowParallel(c *Complex, b, workers int) *Complex {
@@ -25,28 +44,66 @@ func SDSPowParallel(c *Complex, b, workers int) *Complex {
 	return c
 }
 
+// SDSPowParallelCtx is SDSPowParallel honoring ctx between and inside
+// subdivision levels.
+func SDSPowParallelCtx(ctx context.Context, c *Complex, b, workers int) (*Complex, error) {
+	for i := 0; i < b; i++ {
+		next, err := SDSParallelCtx(ctx, c, workers)
+		if err != nil {
+			return nil, err
+		}
+		c = next
+	}
+	return c, nil
+}
+
 // SDSParallelStructured is SDSParallel, additionally returning the
 // construction structure (identical to SDSStructured's).
 func SDSParallelStructured(c *Complex, workers int) *SDSLevel {
+	// Background cannot be canceled, so the error path is unreachable.
+	lvl, _ := sdsParallelStructured(context.Background(), c, workers)
+	return lvl
+}
+
+func sdsParallelStructured(ctx context.Context, c *Complex, workers int) (*SDSLevel, error) {
 	c.mustBeSealed("SDSParallel")
 	if workers <= 0 {
 		workers = runtime.NumCPU()
+	}
+	canceled := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("topology: subdivision canceled: %w", err)
+		}
+		return nil
+	}
+	if err := canceled(); err != nil {
+		return nil, err
 	}
 	facets := c.Facets()
 	// Fan-out pays for itself only with enough independent facets; small
 	// complexes take the sequential path (same output either way).
 	if workers == 1 || len(facets) < 2*workers {
-		return SDSStructured(c)
+		return SDSStructured(c), nil
 	}
 
 	results := make([]sdsFacetOut, len(facets))
 	idx := make(chan int)
+	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// Keep draining idx so the feeder never blocks, but stop
+				// paying for facets once any worker has seen cancellation.
+				if stop.Load() {
+					continue
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					continue
+				}
 				results[i] = subdivideFacet(c, facets[i])
 			}
 		}()
@@ -56,6 +113,9 @@ func SDSParallelStructured(c *Complex, workers int) *SDSLevel {
 	}
 	close(idx)
 	wg.Wait()
+	if err := canceled(); err != nil {
+		return nil, err
+	}
 
 	// Deterministic merge: facets in original order, and within each facet
 	// the records in first-occurrence order, exactly as the sequential
@@ -68,7 +128,12 @@ func SDSParallelStructured(c *Complex, workers int) *SDSLevel {
 	}
 	out.base = base
 	lvl := &SDSLevel{Complex: out, Prev: c}
-	for _, r := range results {
+	for ri, r := range results {
+		if ri%mergeCheckInterval == 0 {
+			if err := canceled(); err != nil {
+				return nil, err
+			}
+		}
 		global := make([]Vertex, len(r.recs))
 		for li, rec := range r.recs {
 			v := out.MustAddVertex(rec.key, c.Color(rec.u))
@@ -88,7 +153,7 @@ func SDSParallelStructured(c *Complex, workers int) *SDSLevel {
 		}
 	}
 	out.Seal()
-	return lvl
+	return lvl, nil
 }
 
 // sdsVertexRec is one new vertex (u, S) of a facet's subdivision, with its

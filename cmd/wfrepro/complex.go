@@ -2,7 +2,9 @@ package main
 
 import (
 	"fmt"
+	"os"
 
+	"waitfree/internal/engine"
 	"waitfree/internal/homology"
 	"waitfree/internal/protocol"
 	"waitfree/internal/topology"
@@ -10,13 +12,28 @@ import (
 
 // cmdComplex reproduces Lemmas 3.2 and 3.3: it enumerates the executions of
 // the b-round iterated immediate snapshot full-information protocol, builds
-// the view complex, and compares it with SDS^b(sⁿ).
+// the view complex, and compares it with SDS^b(sⁿ). With -json it answers
+// one query through the engine and emits exactly the /v1/complex response
+// bytes — the line the serve layer's slowlog prints for slow queries.
 func cmdComplex(args []string) error {
 	fs := newFlagSet("complex")
 	n := fs.Int("n", 2, "dimension (processes − 1)")
 	b := fs.Int("b", 2, "maximum rounds")
+	asJSON := fs.Bool("json", false, "emit the /v1/complex response JSON for one (n, b) query")
+	trace := fs.Bool("trace", false, "with -json: print the request's span tree to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *asJSON {
+		ctx, stop := signalContext()
+		defer stop()
+		ctx, flush := withTrace(ctx, *trace)
+		resp, err := engine.New(engine.Options{}).ComplexInfo(ctx, engine.ComplexRequest{N: *n, B: *b})
+		flush()
+		if err != nil {
+			return err
+		}
+		return engine.WriteJSON(os.Stdout, resp)
 	}
 	if *n > 3 || *b > 3 || (*n >= 3 && *b >= 2) {
 		return fmt.Errorf("complex enumeration is exponential; use n ≤ 3, b ≤ 3 (and n·b small)")

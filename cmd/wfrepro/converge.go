@@ -21,15 +21,18 @@ func cmdConverge(args []string) error {
 	trials := fs.Int("trials", 10, "distributed agreement runs")
 	maxK := fs.Int("maxk", 3, "maximum level to search")
 	asJSON := fs.Bool("json", false, "emit the /v1/converge response JSON instead of text")
+	trace := fs.Bool("trace", false, "with -json: print the request's span tree to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, stop := signalContext()
 	defer stop()
 	if *asJSON {
+		ctx, flush := withTrace(ctx, *trace)
 		resp, err := engine.New(engine.Options{}).Converge(ctx, engine.ConvergeRequest{
 			N: *n, Target: *target, MaxK: *maxK,
 		})
+		flush()
 		if err != nil {
 			return err
 		}

@@ -25,6 +25,8 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+
+	"waitfree/internal/obs"
 )
 
 func main() {
@@ -96,4 +98,15 @@ func newFlagSet(name string) *flag.FlagSet {
 // of the process dying mid-write.
 func signalContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// withTrace attaches an obs trace to ctx when enabled; the returned flush
+// renders the finished span tree to stderr (stdout stays reserved for the
+// JSON payload, so piping to jq keeps working).
+func withTrace(ctx context.Context, enabled bool) (context.Context, func()) {
+	if !enabled {
+		return ctx, func() {}
+	}
+	tr := obs.NewTrace()
+	return obs.WithTrace(ctx, tr), func() { obs.WriteTree(os.Stderr, tr.Snapshot()) }
 }

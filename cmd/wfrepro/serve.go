@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
+	"os"
 
 	"waitfree/internal/engine"
 	"waitfree/internal/serve"
@@ -18,12 +20,22 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", 0, "subdivision/solver workers (0 = NumCPU)")
 	maxconc := fs.Int("maxconc", serve.DefaultMaxConcurrent, "max concurrent requests")
 	timeout := fs.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
+	slowlog := fs.Duration("slowlog", 0, "log queries slower than this with a reproducing CLI line (0 = off)")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/* (CPU/heap/goroutine profiles)")
+	traceBuf := fs.Int("tracebuf", 0, "trace registry capacity for /debug/traces (0 = default 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	eng := engine.New(engine.Options{CacheSize: *cacheSize, SpillDir: *spill, SpillMaxBytes: *spillMax, Workers: *workers})
-	srv := serve.NewServer(eng, serve.Options{MaxConcurrent: *maxconc, Timeout: *timeout})
+	srv := serve.NewServer(eng, serve.Options{
+		MaxConcurrent: *maxconc,
+		Timeout:       *timeout,
+		SlowLog:       *slowlog,
+		Logger:        slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		EnablePprof:   *pprofOn,
+		TraceBuffer:   *traceBuf,
+	})
 
 	ctx, stop := signalContext()
 	defer stop()
@@ -33,8 +45,8 @@ func cmdServe(args []string) error {
 	go func() { errc <- serve.Run(ctx, *addr, srv, ready) }()
 	select {
 	case bound := <-ready:
-		fmt.Printf("wfrepro serve: listening on http://%s (cache=%d workers=%d maxconc=%d timeout=%s)\n",
-			bound, *cacheSize, *workers, *maxconc, *timeout)
+		fmt.Printf("wfrepro serve: listening on http://%s (cache=%d workers=%d maxconc=%d timeout=%s slowlog=%s pprof=%v)\n",
+			bound, *cacheSize, *workers, *maxconc, *timeout, *slowlog, *pprofOn)
 	case err := <-errc:
 		return err
 	}

@@ -22,16 +22,21 @@ func cmdSolve(args []string) error {
 	k := fs.Int("k", 0, "set-consensus k for -json")
 	d := fs.Int("d", 0, "approx-agreement denominator for -json (ε = 1/d)")
 	m := fs.Int("m", 0, "renaming namespace parameter for -json")
+	maxNodes := fs.Int64("maxnodes", 0, "per-level search node budget for -json (0 = engine default)")
+	trace := fs.Bool("trace", false, "with -json: print the request's span tree to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, stop := signalContext()
 	defer stop()
 	if *asJSON {
+		ctx, flush := withTrace(ctx, *trace)
 		resp, err := engine.New(engine.Options{}).Solve(ctx, engine.SolveRequest{
 			Spec:     engine.TaskSpec{Family: *family, Procs: *procs, K: *k, D: *d, M: *m},
 			MaxLevel: *maxB,
+			MaxNodes: *maxNodes,
 		})
+		flush()
 		if err != nil {
 			return err
 		}

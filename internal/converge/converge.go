@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"waitfree/internal/obs"
 	"waitfree/internal/protocol"
 	"waitfree/internal/topology"
 )
@@ -60,10 +61,26 @@ func FindCarrierMapCtx(ctx context.Context, base, a *topology.Complex, maxK int)
 	return findMap(ctx, base, a, maxK, false)
 }
 
-func findMap(ctx context.Context, base, a *topology.Complex, maxK int, chromatic bool) (*topology.SimplicialMap, int, error) {
+func findMap(ctx context.Context, base, a *topology.Complex, maxK int, chromatic bool) (phi *topology.SimplicialMap, level int, err error) {
 	if ab := a.Base(); ab != base {
 		return nil, 0, fmt.Errorf("converge: target is not a subdivision of the given base")
 	}
+	// Tracing: one converge.map span for the whole Theorem 5.1 search,
+	// carrying the level found and the domain/target sizes. Nil-safe no-op
+	// without a trace in ctx.
+	ctx, span := obs.StartSpan(ctx, "converge.map")
+	span.SetInt("max_k", int64(maxK))
+	span.SetInt("target_vertices", int64(a.NumVertices()))
+	defer func() {
+		if phi != nil {
+			span.SetInt("k", int64(level))
+			span.SetInt("domain_vertices", int64(phi.From.NumVertices()))
+			span.SetInt("found", 1)
+		} else {
+			span.SetInt("found", 0)
+		}
+		span.Finish()
+	}()
 	domainFor := func(sub *topology.Complex, v topology.Vertex) []topology.Vertex {
 		var dom []topology.Vertex
 		carrier := sub.Carrier(v)

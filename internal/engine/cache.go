@@ -95,32 +95,47 @@ func (c *Cache) spillPath(key string) string {
 	return filepath.Join(c.spill, kindOf(key)+"-"+hashString(key)+".gob")
 }
 
+// Cache tiers as reported by GetTier (and recorded as the cache.lookup
+// span's "tier" attribute).
+const (
+	TierMemory = "memory"
+	TierDisk   = "disk"
+	TierMiss   = "miss"
+)
+
 // Get returns the value stored under key, consulting the disk tier on an
 // in-memory miss. It does not count query-level hit/miss metrics — the
 // engine does, at whole-query granularity.
 func (c *Cache) Get(key string) (any, bool) {
+	v, _, ok := c.GetTier(key)
+	return v, ok
+}
+
+// GetTier is Get, additionally reporting which tier answered: TierMemory,
+// TierDisk (rehydrated from a spill gob), or TierMiss.
+func (c *Cache) GetTier(key string) (any, string, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		v := el.Value.(*cacheEntry).val
 		c.mu.Unlock()
-		return v, true
+		return v, TierMemory, true
 	}
 	c.mu.Unlock()
 	if c.spill == "" {
-		return nil, false
+		return nil, TierMiss, false
 	}
 	codec, ok := c.codecs[kindOf(key)]
 	if !ok {
-		return nil, false
+		return nil, TierMiss, false
 	}
 	data, err := os.ReadFile(c.spillPath(key))
 	if err != nil {
-		return nil, false
+		return nil, TierMiss, false
 	}
 	v, err := codec.decode(data)
 	if err != nil {
-		return nil, false
+		return nil, TierMiss, false
 	}
 	c.metrics.CacheDiskHits.Add(1)
 	// The entry is live in memory again; drop the gob so evict/rehydrate
@@ -129,7 +144,7 @@ func (c *Cache) Get(key string) (any, bool) {
 		c.metrics.CacheSpillRemoved.Add(1)
 	}
 	c.Put(key, v)
-	return v, true
+	return v, TierDisk, true
 }
 
 // Put stores a value, evicting (and spilling) the least recently used

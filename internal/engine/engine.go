@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"waitfree/internal/converge"
+	"waitfree/internal/obs"
 	"waitfree/internal/solver"
 	"waitfree/internal/topology"
 )
@@ -114,7 +115,16 @@ func (e *Engine) canceledErr(topLevel bool, err error) error {
 // granularity — only top-level client queries bump them; internal artifact
 // lookups (the sds: chain a solve walks) count under "<op>_hit"/"<op>_miss"
 // named counters so N clients asking one question read as exactly one miss.
-// op names the latency histogram.
+// op names the latency histogram; successful queries observe into the "op"
+// histogram, failed ones (cancellations included — a canceled search's
+// partial latency would poison the success percentiles) into "op_error".
+//
+// When ctx carries an obs trace, the spine emits a cache.lookup span (with
+// the answering tier) and, on a miss, a flight.wait span around the
+// singleflight; the compute runs under the flight's Background-rooted
+// context with the starter's trace transplanted onto it, so the deeper
+// sds.subdivide / solver.search / converge.map spans land in the starter's
+// tree while shared subscribers see only their flight.wait.
 //
 // ctx is the caller's; compute receives the flight's context, which stays
 // live while any subscriber remains and is canceled once all have
@@ -124,28 +134,48 @@ func (e *Engine) canceledErr(topLevel bool, err error) error {
 func (e *Engine) do(ctx context.Context, op, key string, topLevel bool, compute func(ctx context.Context) (any, error)) (any, error) {
 	e.metrics.InFlight.Add(1)
 	start := time.Now()
-	defer func() {
-		e.metrics.InFlight.Add(-1)
+	v, err := e.doInner(ctx, op, key, topLevel, compute)
+	e.metrics.InFlight.Add(-1)
+	if err != nil {
+		e.metrics.Observe(op+"_error", time.Since(start))
+	} else {
 		e.metrics.Observe(op, time.Since(start))
-	}()
+	}
+	return v, err
+}
 
-	hit := func() {
+func (e *Engine) doInner(ctx context.Context, op, key string, topLevel bool, compute func(ctx context.Context) (any, error)) (any, error) {
+	hit := func(tier string) {
 		if topLevel {
 			e.metrics.CacheHits.Add(1)
 		} else {
 			e.metrics.Inc(op + "_hit")
 		}
+		if tier == TierDisk {
+			e.metrics.Inc(op + "_disk_hit")
+		}
 	}
-	if v, ok := e.cache.Get(key); ok {
-		hit()
+	_, lookup := obs.StartSpan(ctx, "cache.lookup")
+	lookup.SetStr("op", op)
+	if v, tier, ok := e.cache.GetTier(key); ok {
+		lookup.SetStr("tier", tier)
+		lookup.SetInt("hit", 1)
+		lookup.Finish()
+		hit(tier)
 		return v, nil
 	}
+	lookup.SetStr("tier", TierMiss)
+	lookup.SetInt("hit", 0)
+	lookup.Finish()
 	if err := ctx.Err(); err != nil {
 		return nil, e.canceledErr(topLevel, err)
 	}
+	wctx, wait := obs.StartSpan(ctx, "flight.wait")
+	wait.SetStr("op", op)
 	v, err, shared := e.flights.Do(ctx, key, func(cctx context.Context) (any, error) {
-		if v, ok := e.cache.Get(key); ok {
-			hit()
+		cctx = obs.Transplant(wctx, cctx)
+		if v, tier, ok := e.cache.GetTier(key); ok {
+			hit(tier)
 			return v, nil
 		}
 		if topLevel {
@@ -160,6 +190,8 @@ func (e *Engine) do(ctx context.Context, op, key string, topLevel bool, compute 
 		e.cache.Put(key, v)
 		return v, nil
 	})
+	wait.SetInt("shared", boolInt(shared))
+	wait.Finish()
 	if shared {
 		e.metrics.Deduped.Add(1)
 	}
@@ -167,6 +199,13 @@ func (e *Engine) do(ctx context.Context, op, key string, topLevel bool, compute 
 		return nil, e.canceledErr(topLevel, err)
 	}
 	return v, err
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // sdsLevel returns SDS^b(base) through the content-addressed store,

@@ -43,6 +43,31 @@ func (h *histogram) observe(ms float64) {
 	h.counts[len(latencyBucketsMs)]++
 }
 
+// quantile estimates the q-quantile (0 < q < 1) from the fixed log-scale
+// buckets, interpolating linearly within the bucket where the rank falls.
+// Observations in the +Inf bucket report the last finite bound — a floor,
+// which is the honest answer a fixed-bucket histogram can give.
+func (h *histogram) quantile(q float64) float64 {
+	if h.count == 0 || h.counts == nil {
+		return 0
+	}
+	target := q * float64(h.count)
+	var cum int64
+	lower := 0.0
+	for i, ub := range latencyBucketsMs {
+		cum += h.counts[i]
+		if float64(cum) >= target {
+			frac := 1.0
+			if h.counts[i] > 0 {
+				frac = (target - float64(cum-h.counts[i])) / float64(h.counts[i])
+			}
+			return lower + frac*(ub-lower)
+		}
+		lower = ub
+	}
+	return lower
+}
+
 func (h *histogram) snapshot() map[string]any {
 	if h.counts == nil {
 		h.counts = make([]int64, len(latencyBucketsMs)+1)
@@ -56,6 +81,9 @@ func (h *histogram) snapshot() map[string]any {
 		"count":   h.count,
 		"sum_ms":  h.sumMs,
 		"buckets": buckets,
+		"p50_ms":  h.quantile(0.50),
+		"p95_ms":  h.quantile(0.95),
+		"p99_ms":  h.quantile(0.99),
 	}
 }
 
@@ -136,6 +164,19 @@ func (m *Metrics) Counter(name string) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.counters[name]
+}
+
+// HistCount returns the observation count of a named histogram (0 when the
+// histogram has never been observed). Tests use it to pin the metrics
+// contract: exactly one observation per request, and canceled queries never
+// landing in the success series.
+func (m *Metrics) HistCount(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.hists[name]; h != nil {
+		return h.count
+	}
+	return 0
 }
 
 // Snapshot returns all counters, gauges, and histograms as a flat map

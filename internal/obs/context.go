@@ -1,0 +1,51 @@
+package obs
+
+import "context"
+
+type traceKey struct{}
+type spanKey struct{}
+
+// WithTrace attaches a trace to the context. Children started via
+// StartSpan on the returned context become roots of the trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace attached to ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// StartSpan opens a span named name under the context's active span (or as
+// a root when none is active) and returns a child context with the new
+// span active. When ctx carries no trace, the returned span is nil and the
+// context is returned unchanged — all Span methods are nil-safe, so call
+// sites need no branching.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := FromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	s := t.newSpan(name, parent)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// Transplant copies the observability state (trace and active span) of
+// from onto to. The engine's singleflight computes under a context rooted
+// in Background so a detaching caller cannot kill a shared flight; this is
+// how the flight starter's trace still sees the compute's spans. Shared
+// subscribers observe only their own flight.wait span — the compute tree
+// belongs to whoever started it.
+func Transplant(from, to context.Context) context.Context {
+	t := FromContext(from)
+	if t == nil {
+		return to
+	}
+	to = context.WithValue(to, traceKey{}, t)
+	if s, ok := from.Value(spanKey{}).(*Span); ok {
+		to = context.WithValue(to, spanKey{}, s)
+	}
+	return to
+}

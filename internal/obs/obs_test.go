@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNoTraceIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "anything")
+	if s != nil {
+		t.Fatalf("expected nil span without a trace, got %v", s)
+	}
+	if ctx2 != ctx {
+		t.Fatalf("context should be unchanged without a trace")
+	}
+	// Every method must be callable on the nil span.
+	s.SetInt("k", 1)
+	s.SetStr("k", "v")
+	s.Finish()
+}
+
+func TestSpanTreeAndAttributes(t *testing.T) {
+	tr := NewTrace()
+	if len(tr.ID) != 32 {
+		t.Fatalf("trace ID %q is not 16 hex bytes", tr.ID)
+	}
+	ctx := WithTrace(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "request")
+	cctx, child := StartSpan(ctx, "cache.lookup")
+	child.SetStr("tier", "memory")
+	child.SetInt("hit", 1)
+	child.Finish()
+	_, grand := StartSpan(cctx, "inner")
+	grand.Finish()
+	root.Finish()
+
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 3 {
+		t.Fatalf("want 3 spans, got %d", len(snap.Spans))
+	}
+	if snap.Spans[0].Parent != -1 {
+		t.Fatalf("root parent = %d, want -1", snap.Spans[0].Parent)
+	}
+	if snap.Spans[1].Parent != 0 {
+		t.Fatalf("child parent = %d, want 0", snap.Spans[1].Parent)
+	}
+	if snap.Spans[2].Parent != 1 {
+		t.Fatalf("grandchild parent = %d, want 1 (started from child ctx)", snap.Spans[2].Parent)
+	}
+	lookups := snap.Find("cache.lookup")
+	if len(lookups) != 1 || lookups[0].Ints["hit"] != 1 || lookups[0].Strs["tier"] != "memory" {
+		t.Fatalf("cache.lookup attrs wrong: %+v", lookups)
+	}
+}
+
+func TestTransplantCarriesTraceAndSpan(t *testing.T) {
+	tr := NewTrace()
+	from := WithTrace(context.Background(), tr)
+	from, parent := StartSpan(from, "flight.wait")
+	defer parent.Finish()
+
+	to := Transplant(from, context.Background())
+	if FromContext(to) != tr {
+		t.Fatal("transplant dropped the trace")
+	}
+	_, child := StartSpan(to, "compute")
+	child.Finish()
+	snap := tr.Snapshot()
+	if snap.Spans[1].Parent != 0 {
+		t.Fatalf("compute should nest under flight.wait, parent = %d", snap.Spans[1].Parent)
+	}
+	// Transplanting a traceless context is the identity.
+	plain := context.Background()
+	if Transplant(context.Background(), plain) != plain {
+		t.Fatal("traceless transplant should return the target unchanged")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, s := StartSpan(ctx, "worker")
+			s.SetInt("i", 1)
+			s.Finish()
+		}()
+	}
+	wg.Wait()
+	root.Finish()
+	if got := len(tr.Snapshot().Find("worker")); got != 16 {
+		t.Fatalf("want 16 worker spans, got %d", got)
+	}
+}
+
+func TestRegistryEvictsOldest(t *testing.T) {
+	r := NewRegistry(2)
+	traces := []*Trace{NewTrace(), NewTrace(), NewTrace()}
+	for _, tr := range traces {
+		_, s := StartSpan(WithTrace(context.Background(), tr), "root")
+		s.Finish()
+		r.Record(tr)
+	}
+	if _, ok := r.Get(traces[0].ID); ok {
+		t.Fatal("oldest trace should have been evicted")
+	}
+	for _, tr := range traces[1:] {
+		if _, ok := r.Get(tr.ID); !ok {
+			t.Fatalf("trace %s missing", tr.ID)
+		}
+	}
+	recent := r.Recent()
+	if len(recent) != 2 || recent[0].ID != traces[2].ID || recent[1].ID != traces[1].ID {
+		t.Fatalf("recent order wrong: %+v", recent)
+	}
+	if recent[0].Root != "root" || recent[0].Spans != 1 {
+		t.Fatalf("summary wrong: %+v", recent[0])
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "request")
+	_, s := StartSpan(ctx, "solver.search")
+	s.SetInt("nodes", 42)
+	s.Finish()
+	root.Finish()
+	var b strings.Builder
+	WriteTree(&b, tr.Snapshot())
+	out := b.String()
+	if !strings.Contains(out, "solver.search") || !strings.Contains(out, "nodes=42") {
+		t.Fatalf("tree rendering missing span or attr:\n%s", out)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// DefaultRegistryCap bounds the registry when the caller does not choose:
+// enough to hold the recent past of a busy server, small enough that
+// traces never become a memory leak.
+const DefaultRegistryCap = 256
+
+// Registry is a bounded ring of completed trace snapshots, keyed by trace
+// ID. It stores snapshots, not live traces, so published traces are
+// immutable no matter what the request goroutine does afterwards.
+type Registry struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // ring of IDs, oldest first
+	next  int
+	byID  map[string]*TraceSnapshot
+}
+
+// NewRegistry returns a registry holding at most capacity snapshots
+// (capacity ≤ 0 means DefaultRegistryCap).
+func NewRegistry(capacity int) *Registry {
+	if capacity <= 0 {
+		capacity = DefaultRegistryCap
+	}
+	return &Registry{cap: capacity, byID: make(map[string]*TraceSnapshot)}
+}
+
+// Record snapshots t and publishes it, evicting the oldest snapshot past
+// capacity. Nil-safe on both receiver and trace.
+func (r *Registry) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	snap := t.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.order) < r.cap {
+		r.order = append(r.order, snap.ID)
+	} else {
+		delete(r.byID, r.order[r.next])
+		r.order[r.next] = snap.ID
+		r.next = (r.next + 1) % r.cap
+	}
+	r.byID[snap.ID] = snap
+}
+
+// Get returns the snapshot for a trace ID.
+func (r *Registry) Get(id string) (*TraceSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[id]
+	return s, ok
+}
+
+// TraceSummary is one line of the /debug/traces listing.
+type TraceSummary struct {
+	ID         string  `json:"id"`
+	DurationMs float64 `json:"duration_ms"`
+	Spans      int     `json:"spans"`
+	Root       string  `json:"root,omitempty"`
+}
+
+// Recent returns summaries of the stored traces, newest first.
+func (r *Registry) Recent() []TraceSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceSummary, 0, len(r.order))
+	// order is a ring with r.next pointing at the oldest once full;
+	// walk backwards from the newest.
+	n := len(r.order)
+	for i := 0; i < n; i++ {
+		var id string
+		if n < r.cap {
+			id = r.order[n-1-i]
+		} else {
+			id = r.order[((r.next-1-i)%n+n)%n]
+		}
+		s := r.byID[id]
+		sum := TraceSummary{ID: s.ID, DurationMs: s.DurationMs, Spans: len(s.Spans)}
+		if len(s.Spans) > 0 {
+			sum.Root = s.Spans[0].Name
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// WriteTree renders a snapshot as an indented tree with durations and
+// attributes — the CLI's -trace output.
+func WriteTree(w io.Writer, ts *TraceSnapshot) {
+	fmt.Fprintf(w, "trace %s (%.2fms, %d spans)\n", ts.ID, ts.DurationMs, len(ts.Spans))
+	depth := make([]int, len(ts.Spans))
+	for i, s := range ts.Spans {
+		if s.Parent >= 0 && s.Parent < i {
+			depth[i] = depth[s.Parent] + 1
+		}
+		fmt.Fprintf(w, "%*s%s %.2fms", 2*(depth[i]+1), "", s.Name, s.DurationMs)
+		for _, k := range s.SortedIntKeys() {
+			fmt.Fprintf(w, " %s=%d", k, s.Ints[k])
+		}
+		for _, k := range sortedStrKeys(s.Strs) {
+			fmt.Fprintf(w, " %s=%s", k, s.Strs[k])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func sortedStrKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -10,18 +10,30 @@
 //	GET /v1/adversary?algo=commitadopt&adversary=random&seed=42&procs=3&crash=2,-1,-1
 //	GET /healthz
 //	GET /metrics
+//	GET /debug/traces[?id=<trace-id>]
+//	GET /debug/pprof/*          (behind Options.EnablePprof)
+//
+// Every /v1/* response carries an X-Trace-Id header; the corresponding span
+// tree (cache.lookup, flight.wait, sds.subdivide, solver.search,
+// converge.map — see DESIGN §10) is retrievable from /debug/traces while it
+// remains in the bounded registry.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"waitfree/internal/engine"
+	"waitfree/internal/obs"
 	"waitfree/internal/solver"
 )
 
@@ -33,6 +45,18 @@ type Options struct {
 	MaxConcurrent int
 	// Timeout is the per-request deadline; 0 = 30s.
 	Timeout time.Duration
+	// SlowLog, when > 0, logs any /v1/* request slower than this threshold
+	// via Logger, together with the exact wfrepro CLI line that reproduces
+	// the query offline.
+	SlowLog time.Duration
+	// Logger receives slow-query records; nil = slog.Default().
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiles expose internals and cost CPU, so production turns it on
+	// deliberately via the -pprof flag.
+	EnablePprof bool
+	// TraceBuffer bounds the /debug/traces registry; 0 = obs default (256).
+	TraceBuffer int
 }
 
 // DefaultMaxConcurrent is the default in-flight request bound.
@@ -46,6 +70,10 @@ type Server struct {
 	eng     *engine.Engine
 	sem     chan struct{}
 	timeout time.Duration
+	slow    time.Duration
+	logger  *slog.Logger
+	pprofOn bool
+	traces  *obs.Registry
 }
 
 // NewServer builds a Server over eng.
@@ -58,11 +86,26 @@ func NewServer(eng *engine.Engine, o Options) *Server {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	return &Server{eng: eng, sem: make(chan struct{}, maxConc), timeout: timeout}
+	logger := o.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Server{
+		eng:     eng,
+		sem:     make(chan struct{}, maxConc),
+		timeout: timeout,
+		slow:    o.SlowLog,
+		logger:  logger,
+		pprofOn: o.EnablePprof,
+		traces:  obs.NewRegistry(o.TraceBuffer),
+	}
 }
 
 // Engine exposes the underlying engine (tests, metrics wiring).
 func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Traces exposes the trace registry (tests, CLI wiring).
+func (s *Server) Traces() *obs.Registry { return s.traces }
 
 // Handler returns the full route table wrapped in the concurrency limiter
 // and the per-request timeout.
@@ -74,6 +117,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/adversary", s.handleAdversary)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	if s.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return http.TimeoutHandler(s.limit(mux), s.timeout, `{"error":"request timed out"}`)
 }
 
@@ -109,16 +160,53 @@ func (s *Server) limit(next http.Handler) http.Handler {
 	})
 }
 
-// instrument counts the request and times the handler under the endpoint's
-// name.
-func (s *Server) instrument(name string, w http.ResponseWriter, fn func() (any, error)) {
+// instrument is the per-request observability spine shared by every /v1/*
+// endpoint. For each request it:
+//
+//   - starts a trace, sets X-Trace-Id before the handler runs, and records
+//     the finished span tree into the /debug/traces registry;
+//   - increments exactly one requests_total_<endpoint> counter and exactly
+//     one http_status_<endpoint>_<code> counter, on every path — 200 and
+//     400/499/503/500 alike;
+//   - records exactly one latency observation: into the http_<endpoint>
+//     histogram on success, or http_<endpoint>_error on failure, so
+//     canceled and failed queries never pollute the success percentiles;
+//   - when the request exceeds the slowlog threshold, logs it with the
+//     exact `wfrepro <cmd> -json ...` line that reproduces the query.
+func (s *Server) instrument(name string, w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, error)) {
 	m := s.eng.Metrics()
-	m.Inc("http_" + name)
+	tr := obs.NewTrace()
+	ctx := obs.WithTrace(r.Context(), tr)
+	ctx, root := obs.StartSpan(ctx, "http."+name)
+	w.Header().Set("X-Trace-Id", tr.ID)
+	m.Inc("requests_total_" + name)
 	start := time.Now()
-	v, err := fn()
-	m.Observe("http_"+name, time.Since(start))
+	v, err := fn(ctx)
+	elapsed := time.Since(start)
+	status := http.StatusOK
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		status = statusFor(err)
+	}
+	root.SetInt("status", int64(status))
+	root.Finish()
+	s.traces.Record(tr)
+	m.Inc(fmt.Sprintf("http_status_%s_%d", name, status))
+	if err != nil {
+		m.Observe("http_"+name+"_error", elapsed)
+	} else {
+		m.Observe("http_"+name, elapsed)
+	}
+	if s.slow > 0 && elapsed >= s.slow {
+		s.logger.Warn("slow query",
+			"endpoint", name,
+			"trace_id", tr.ID,
+			"status", status,
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+			"repro", reproCommand(name, r),
+		)
+	}
+	if err != nil {
+		writeError(w, status, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -126,6 +214,37 @@ func (s *Server) instrument(name string, w http.ResponseWriter, fn func() (any, 
 		// Headers are gone; nothing to do but record it.
 		m.Inc("http_write_errors")
 	}
+}
+
+// reproCommand renders the wfrepro CLI line that replays an HTTP query
+// offline: the -json subcommands share the engine (and encoder) with the
+// service, so the line reproduces the exact bytes — and, with -trace, the
+// exact span tree — of the slow request. Query parameters map 1:1 onto CLI
+// flags except for the few whose names differ between the two surfaces.
+func reproCommand(endpoint string, r *http.Request) string {
+	// HTTP parameter → CLI flag renames, per endpoint.
+	renames := map[string]map[string]string{
+		"adversary": {"adversary": "adv", "procs": "n"},
+	}
+	parts := []string{"wfrepro", endpoint, "-json"}
+	q := r.URL.Query()
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := q.Get(k)
+		if v == "" {
+			continue
+		}
+		flag := k
+		if ren := renames[endpoint][k]; ren != "" {
+			flag = ren
+		}
+		parts = append(parts, "-"+flag+"="+v)
+	}
+	return strings.Join(parts, " ")
 }
 
 // StatusClientClosedRequest is the (nginx-conventional) status recorded
@@ -167,17 +286,17 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	s.instrument("solve", w, func() (any, error) {
+	s.instrument("solve", w, r, func(ctx context.Context) (any, error) {
 		req, err := parseSolve(r)
 		if err != nil {
 			return nil, err
 		}
-		return s.eng.Solve(r.Context(), req)
+		return s.eng.Solve(ctx, req)
 	})
 }
 
 func (s *Server) handleComplex(w http.ResponseWriter, r *http.Request) {
-	s.instrument("complex", w, func() (any, error) {
+	s.instrument("complex", w, r, func(ctx context.Context) (any, error) {
 		n, err := intParamRange(r, "n", 2, 0, 8)
 		if err != nil {
 			return nil, err
@@ -186,12 +305,12 @@ func (s *Server) handleComplex(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return s.eng.ComplexInfo(r.Context(), engine.ComplexRequest{N: n, B: b})
+		return s.eng.ComplexInfo(ctx, engine.ComplexRequest{N: n, B: b})
 	})
 }
 
 func (s *Server) handleConverge(w http.ResponseWriter, r *http.Request) {
-	s.instrument("converge", w, func() (any, error) {
+	s.instrument("converge", w, r, func(ctx context.Context) (any, error) {
 		n, err := intParamRange(r, "n", 1, 0, 8)
 		if err != nil {
 			return nil, err
@@ -204,18 +323,34 @@ func (s *Server) handleConverge(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return s.eng.Converge(r.Context(), engine.ConvergeRequest{N: n, Target: target, MaxK: maxk})
+		return s.eng.Converge(ctx, engine.ConvergeRequest{N: n, Target: target, MaxK: maxk})
 	})
 }
 
 func (s *Server) handleAdversary(w http.ResponseWriter, r *http.Request) {
-	s.instrument("adversary", w, func() (any, error) {
+	s.instrument("adversary", w, r, func(ctx context.Context) (any, error) {
 		req, err := parseAdversary(r)
 		if err != nil {
 			return nil, err
 		}
-		return s.eng.Adversary(r.Context(), req)
+		return s.eng.Adversary(ctx, req)
 	})
+}
+
+// handleTraces serves the bounded trace registry: the full span tree for
+// ?id=<trace-id>, or summaries of the recent traces without an id.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if id := r.URL.Query().Get("id"); id != "" {
+		snap, ok := s.traces.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("trace %q not found (evicted or never recorded)", id))
+			return
+		}
+		engine.WriteJSON(w, snap)
+		return
+	}
+	engine.WriteJSON(w, map[string]any{"traces": s.traces.Recent()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"waitfree/internal/obs"
 	"waitfree/internal/tasks"
 	"waitfree/internal/topology"
 )
@@ -110,12 +111,29 @@ func SolveAtLevel(task *tasks.Task, b int, opts Options) (*Result, error) {
 // cancellation every cancelCheckInterval nodes (amortized — the checkpoint
 // does not perturb node counts, which stay deterministic) and returns
 // ErrCanceled wrapping ctx.Err() if the caller has gone away.
-func SolveAtLevelOn(ctx context.Context, task *tasks.Task, b int, sub *topology.Complex, opts Options) (*Result, error) {
+func SolveAtLevelOn(ctx context.Context, task *tasks.Task, b int, sub *topology.Complex, opts Options) (res *Result, err error) {
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = DefaultMaxNodes
 	}
-	res := &Result{Task: task, Level: b, Subdivision: sub}
+	res = &Result{Task: task, Level: b, Subdivision: sub}
+	// Tracing: one solver.search span per level, carrying the search's
+	// deterministic combinatorics — node counts are identical run-to-run
+	// because the backtracking stays sequential, so the trace is a checkable
+	// witness, not a sample. Nil-safe no-op when ctx carries no trace.
+	ctx, span := obs.StartSpan(ctx, "solver.search")
+	span.SetInt("level", int64(b))
+	span.SetInt("vertices", int64(sub.NumVertices()))
+	span.SetInt("facets", int64(len(sub.Facets())))
+	span.SetStr("task", task.Name)
+	defer func() {
+		span.SetInt("nodes", res.Nodes)
+		span.SetInt("solvable", boolInt(res.Solvable))
+		if err != nil {
+			span.SetStr("error", errKind(err))
+		}
+		span.Finish()
+	}()
 	if err := ctx.Err(); err != nil {
 		return res, fmt.Errorf("%w: %w", ErrCanceled, err)
 	}
@@ -214,6 +232,25 @@ func SolveAtLevelOn(ctx context.Context, task *tasks.Task, b int, sub *topology.
 		res.Map = m
 	}
 	return res, nil
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// errKind names the search-failure class for span attributes.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, ErrBudget):
+		return "budget"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	default:
+		return "error"
+	}
 }
 
 // checkItem is a simplex with its precomputed carrier.

@@ -1,0 +1,36 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomChromaticComplex builds a small random chromatic complex from the
+// seeded rng: a handful of facets over a pool of colored vertices, colors
+// distinct within each facet by construction. It is the repository's shared
+// generator for randomized invariant tests (subdivision properties here,
+// map invariants in internal/converge) — deterministic in the rng's seed,
+// so every failure report is a reproducible seed, not a flake.
+func RandomChromaticComplex(rng *rand.Rand) *Complex {
+	c := NewComplex()
+	nColors := 2 + rng.Intn(2)  // 2 or 3 colors
+	perColor := 1 + rng.Intn(2) // 1 or 2 vertices per color
+	pool := make([][]Vertex, nColors)
+	for col := 0; col < nColors; col++ {
+		for k := 0; k < perColor; k++ {
+			v := c.MustAddVertex(fmt.Sprintf("v%d_%d", col, k), col)
+			pool[col] = append(pool[col], v)
+		}
+	}
+	nFacets := 1 + rng.Intn(3)
+	for f := 0; f < nFacets; f++ {
+		size := 1 + rng.Intn(nColors)
+		cols := rng.Perm(nColors)[:size]
+		var facet []Vertex
+		for _, col := range cols {
+			facet = append(facet, pool[col][rng.Intn(len(pool[col]))])
+		}
+		c.MustAddSimplex(facet...)
+	}
+	return c.Seal()
+}

@@ -1,38 +1,14 @@
 package topology
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
 
-// randomChromaticComplex builds a small random chromatic complex: a handful
-// of facets over a pool of colored vertices, with colors distinct within
-// each facet by construction.
-func randomChromaticComplex(rng *rand.Rand) *Complex {
-	c := NewComplex()
-	nColors := 2 + rng.Intn(2)  // 2 or 3 colors
-	perColor := 1 + rng.Intn(2) // 1 or 2 vertices per color
-	pool := make([][]Vertex, nColors)
-	for col := 0; col < nColors; col++ {
-		for k := 0; k < perColor; k++ {
-			v := c.MustAddVertex(fmt.Sprintf("v%d_%d", col, k), col)
-			pool[col] = append(pool[col], v)
-		}
-	}
-	nFacets := 1 + rng.Intn(3)
-	for f := 0; f < nFacets; f++ {
-		size := 1 + rng.Intn(nColors)
-		cols := rng.Perm(nColors)[:size]
-		var facet []Vertex
-		for _, col := range cols {
-			facet = append(facet, pool[col][rng.Intn(len(pool[col]))])
-		}
-		c.MustAddSimplex(facet...)
-	}
-	return c.Seal()
-}
+// randomChromaticComplex is the shared seeded generator from gen.go; the
+// alias keeps the historical test spelling.
+var randomChromaticComplex = RandomChromaticComplex
 
 // TestSDSPropertiesOnRandomComplexes: for random chromatic complexes,
 // SDS(C) must be chromatic, have Σ Fubini(|facet|) facets, carriers that

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"waitfree/internal/obs"
 )
 
 // mergeCheckInterval is the cadence, in facets, of the cancellation
@@ -65,11 +67,28 @@ func SDSParallelStructured(c *Complex, workers int) *SDSLevel {
 	return lvl
 }
 
-func sdsParallelStructured(ctx context.Context, c *Complex, workers int) (*SDSLevel, error) {
+func sdsParallelStructured(ctx context.Context, c *Complex, workers int) (lvl *SDSLevel, err error) {
 	c.mustBeSealed("SDSParallel")
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	// Tracing: one sds.subdivide span per level, carrying the exact facet
+	// and vertex counts of the construction (the numbers Lemma 3.3 pins
+	// down — Σ over facets of CountOrderedPartitions(|facet|) new facets).
+	// A no-op when the context carries no trace.
+	ctx, span := obs.StartSpan(ctx, "sds.subdivide")
+	span.SetInt("facets_in", int64(len(c.Facets())))
+	span.SetInt("workers", int64(workers))
+	defer func() {
+		if err == nil && lvl != nil && lvl.Complex != nil {
+			span.SetInt("facets_out", int64(len(lvl.Complex.Facets())))
+			span.SetInt("vertices_out", int64(lvl.Complex.NumVertices()))
+		}
+		if err != nil {
+			span.SetStr("error", "canceled")
+		}
+		span.Finish()
+	}()
 	canceled := func() error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("topology: subdivision canceled: %w", err)
@@ -127,7 +146,7 @@ func sdsParallelStructured(ctx context.Context, c *Complex, workers int) (*SDSLe
 		base = c
 	}
 	out.base = base
-	lvl := &SDSLevel{Complex: out, Prev: c}
+	lvl = &SDSLevel{Complex: out, Prev: c}
 	for ri, r := range results {
 		if ri%mergeCheckInterval == 0 {
 			if err := canceled(); err != nil {

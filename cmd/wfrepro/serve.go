@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"waitfree/internal/engine"
+	"waitfree/internal/faultfs"
 	"waitfree/internal/serve"
 )
 
@@ -23,18 +24,41 @@ func cmdServe(args []string) error {
 	slowlog := fs.Duration("slowlog", 0, "log queries slower than this with a reproducing CLI line (0 = off)")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/* (CPU/heap/goroutine profiles)")
 	traceBuf := fs.Int("tracebuf", 0, "trace registry capacity for /debug/traces (0 = default 256)")
+	maxCost := fs.Int64("maxcost", 0, "admission budget in Lemma 3.3 facets; over-estimate queries get 400 (0 = unlimited)")
+	degCost := fs.Int64("degradedcost", 0, "degraded-mode cost budget (0 = default, negative = cache hits only)")
+	brkThresh := fs.Int("breaker-threshold", 0, "spill-fault/5xx count that trips degraded mode (0 = default)")
+	brkWindow := fs.Duration("breaker-window", 0, "sliding window for breaker failure counting (0 = default)")
+	brkCooldown := fs.Duration("breaker-cooldown", 0, "quiet period before the breaker recovers (0 = default)")
+	faultSeed := fs.Int64("faultseed", 0, "DEV ONLY: inject deterministic storage faults into the spill tier with this seed (0 = off)")
+	faultRate := fs.Float64("faultrate", 0, "DEV ONLY: per-op fault probability for -faultseed (0 = default 0.1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	eng := engine.New(engine.Options{CacheSize: *cacheSize, SpillDir: *spill, SpillMaxBytes: *spillMax, Workers: *workers})
+	eo := engine.Options{CacheSize: *cacheSize, SpillDir: *spill, SpillMaxBytes: *spillMax, Workers: *workers}
+	if *faultSeed != 0 {
+		// The storage adversary, same contract as the scheduler's -seed: the
+		// fault schedule is a pure function of the seed, printed up front so
+		// a failure report can quote it.
+		ffs := faultfs.New(faultfs.OS{}, *faultSeed, *faultRate)
+		eo.SpillFS = ffs
+		fmt.Fprintf(os.Stderr, "wfrepro serve: DEV storage fault injection active\n%s", ffs.PlanString(32))
+	}
+	eng := engine.New(eo)
 	srv := serve.NewServer(eng, serve.Options{
-		MaxConcurrent: *maxconc,
-		Timeout:       *timeout,
-		SlowLog:       *slowlog,
-		Logger:        slog.New(slog.NewTextHandler(os.Stderr, nil)),
-		EnablePprof:   *pprofOn,
-		TraceBuffer:   *traceBuf,
+		MaxConcurrent:   *maxconc,
+		Timeout:         *timeout,
+		SlowLog:         *slowlog,
+		Logger:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		EnablePprof:     *pprofOn,
+		TraceBuffer:     *traceBuf,
+		MaxCost:         *maxCost,
+		DegradedMaxCost: *degCost,
+		Breaker: serve.BreakerOptions{
+			Threshold: *brkThresh,
+			Window:    *brkWindow,
+			Cooldown:  *brkCooldown,
+		},
 	})
 
 	ctx, stop := signalContext()

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"waitfree/internal/engine"
@@ -68,19 +70,95 @@ func main() {
 }
 
 func getJSON(url string, v any) {
-	resp, err := http.Get(url)
+	body, err := fetchWithRetry(http.DefaultClient, url, maxAttempts,
+		time.Sleep, rand.New(rand.NewSource(time.Now().UnixNano())))
 	if err != nil {
 		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("%s: %d %s", url, resp.StatusCode, body)
 	}
 	if err := json.Unmarshal(body, v); err != nil {
 		log.Fatalf("%s: %v", url, err)
 	}
+}
+
+// Retry policy: the service sheds load with 503 (+ Retry-After) when it is
+// at capacity or in degraded mode, and those conditions clear on their own —
+// exactly the failures worth retrying. 4xx (other than 429) means the query
+// itself is wrong and retrying cannot help.
+const (
+	maxAttempts = 5
+	baseDelay   = 100 * time.Millisecond
+	maxDelay    = 5 * time.Second
+)
+
+// fetchWithRetry GETs url, retrying 429/503 responses and transport errors
+// with full-jitter exponential backoff, honoring the server's Retry-After
+// hint when present. sleep and rng are parameters so tests can observe the
+// chosen delays without waiting them out.
+func fetchWithRetry(c *http.Client, url string, attempts int, sleep func(time.Duration), rng *rand.Rand) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			sleep(backoffDelay(attempt-1, lastErr, rng))
+		}
+		resp, err := c.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return body, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			lastErr = &retryableError{
+				status:     resp.StatusCode,
+				retryAfter: resp.Header.Get("Retry-After"),
+				body:       string(body),
+			}
+		default:
+			return nil, fmt.Errorf("%s: %d %s", url, resp.StatusCode, body)
+		}
+	}
+	return nil, fmt.Errorf("%s: giving up after %d attempts: %w", url, attempts, lastErr)
+}
+
+// retryableError carries the pieces of a 429/503 the backoff needs.
+type retryableError struct {
+	status     int
+	retryAfter string
+	body       string
+}
+
+func (e *retryableError) Error() string {
+	return fmt.Sprintf("%d %s", e.status, e.body)
+}
+
+// backoffDelay picks the wait before retry number attempt+1. A Retry-After
+// hint from the server wins (it knows its queue and cooldown); otherwise
+// full-jitter exponential backoff — uniform in (0, base·2^attempt] — so a
+// herd of rejected clients decorrelates instead of returning in lockstep.
+// Either way the delay is capped at maxDelay.
+func backoffDelay(attempt int, lastErr error, rng *rand.Rand) time.Duration {
+	if re, ok := lastErr.(*retryableError); ok {
+		if s, err := strconv.Atoi(re.retryAfter); err == nil && s > 0 {
+			d := time.Duration(s) * time.Second
+			if d > maxDelay {
+				d = maxDelay
+			}
+			return d
+		}
+	}
+	ceil := baseDelay
+	for i := 0; i < attempt && ceil < maxDelay; i++ {
+		ceil *= 2
+	}
+	if ceil > maxDelay {
+		ceil = maxDelay
+	}
+	return time.Duration(rng.Int63n(int64(ceil))) + time.Millisecond
 }

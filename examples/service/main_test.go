@@ -1,0 +1,137 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordedSleep collects the delays fetchWithRetry chose instead of
+// actually waiting them out.
+func recordedSleep(delays *[]time.Duration) func(time.Duration) {
+	return func(d time.Duration) { *delays = append(*delays, d) }
+}
+
+// TestRetryHonorsRetryAfter: a flaky server that sheds the first two
+// attempts with 503 + Retry-After: 2 is retried, the hinted delay is used
+// verbatim, and the third attempt's body comes back.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"degraded"}`))
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	var delays []time.Duration
+	body, err := fetchWithRetry(ts.Client(), ts.URL, maxAttempts, recordedSleep(&delays), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != `{"ok":true}` {
+		t.Fatalf("body = %s", body)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if len(delays) != 2 || delays[0] != 2*time.Second || delays[1] != 2*time.Second {
+		t.Fatalf("delays = %v, want the server's 2s hint twice", delays)
+	}
+}
+
+// TestRetryJittersWithoutHint: 503s without Retry-After back off with full
+// jitter — every delay positive, inside the doubling ceiling, and not all
+// identical across seeds (that would be lockstep, the thing jitter exists
+// to prevent).
+func TestRetryJittersWithoutHint(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"capacity"}`))
+	}))
+	defer ts.Close()
+
+	firstDelays := map[time.Duration]bool{}
+	for seed := int64(1); seed <= 5; seed++ {
+		var delays []time.Duration
+		_, err := fetchWithRetry(ts.Client(), ts.URL, 4, recordedSleep(&delays), rand.New(rand.NewSource(seed)))
+		if err == nil || !strings.Contains(err.Error(), "giving up after 4 attempts") {
+			t.Fatalf("seed %d: want give-up error, got %v", seed, err)
+		}
+		if len(delays) != 3 {
+			t.Fatalf("seed %d: %d delays for 4 attempts, want 3", seed, len(delays))
+		}
+		ceil := baseDelay
+		for i, d := range delays {
+			if d <= 0 || d > ceil+time.Millisecond {
+				t.Fatalf("seed %d: delay[%d] = %v outside (0, %v]", seed, i, d, ceil)
+			}
+			ceil *= 2
+		}
+		firstDelays[delays[0]] = true
+	}
+	if len(firstDelays) < 2 {
+		t.Fatalf("5 seeds produced identical first delays %v; jitter is not jittering", firstDelays)
+	}
+}
+
+// TestRetryGivesUpOn400: a 400 is the client's own fault — no retries, the
+// error surfaces immediately with the body attached.
+func TestRetryGivesUpOn400(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"estimated cost 427576 facets exceeds budget 100000"}`))
+	}))
+	defer ts.Close()
+
+	var delays []time.Duration
+	_, err := fetchWithRetry(ts.Client(), ts.URL, maxAttempts, recordedSleep(&delays), rand.New(rand.NewSource(1)))
+	if err == nil || !strings.Contains(err.Error(), "exceeds budget") {
+		t.Fatalf("want the 400 body in the error, got %v", err)
+	}
+	if calls.Load() != 1 || len(delays) != 0 {
+		t.Fatalf("400 must not be retried: calls=%d delays=%v", calls.Load(), delays)
+	}
+}
+
+// TestRetryOn429: rate-limit responses are retryable just like 503s.
+func TestRetryOn429(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	var delays []time.Duration
+	body, err := fetchWithRetry(ts.Client(), ts.URL, maxAttempts, recordedSleep(&delays), rand.New(rand.NewSource(1)))
+	if err != nil || string(body) != `{"ok":true}` {
+		t.Fatalf("got %s, %v", body, err)
+	}
+	if len(delays) != 1 || delays[0] != time.Second {
+		t.Fatalf("delays = %v, want the 1s hint", delays)
+	}
+}
+
+// TestRetryAfterCapped: an absurd Retry-After hint is capped at maxDelay so
+// a confused server cannot park the client for minutes.
+func TestRetryAfterCapped(t *testing.T) {
+	err := &retryableError{status: 503, retryAfter: "3600"}
+	if d := backoffDelay(0, err, rand.New(rand.NewSource(1))); d != maxDelay {
+		t.Fatalf("delay = %v, want the %v cap", d, maxDelay)
+	}
+}

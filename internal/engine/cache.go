@@ -3,12 +3,17 @@ package engine
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
+	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+
+	"waitfree/internal/faultfs"
 )
 
 // hashString is the engine's content address: hex SHA-256 of a canonical
@@ -30,7 +35,15 @@ type cacheCodec struct {
 // Cache is an LRU-bounded, content-addressed store. Values are live Go
 // objects (complexes are reused directly by later computations); when a
 // spill directory is configured, evicted entries with a registered codec
-// are written as gob files and transparently rehydrated on the next miss.
+// are written as checksummed gob files and transparently rehydrated on the
+// next miss.
+//
+// The disk tier is strictly best-effort and never trusted: every spill file
+// carries a CRC32 envelope (see sealSpill), a file that fails its checksum
+// or its gob decode is quarantined (removed, counted, treated as a miss),
+// and a spill *write* failure keeps the evicted entry in the memory tier —
+// so a full or faulty disk degrades cache capacity, never correctness, and
+// never a query.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
@@ -39,6 +52,8 @@ type Cache struct {
 	spill   string
 	spillMu sync.Mutex // serializes spill writes and budget sweeps
 	budget  int64      // spill-directory byte budget; ≤ 0 = DefaultSpillMaxBytes
+	over    int        // entries kept past max because their spill failed (≤ spillOverflowMax)
+	fs      faultfs.FS // the spill tier's filesystem; faultfs.OS in production
 	codecs  map[string]cacheCodec
 	metrics *Metrics
 }
@@ -57,25 +72,54 @@ type cacheEntry struct {
 // NewCache returns a cache holding at most max entries in memory (max ≤ 0
 // means DefaultCacheSize). spillDir == "" disables the disk tier;
 // spillMaxBytes bounds the directory's total size (≤ 0 means
-// DefaultSpillMaxBytes).
-func NewCache(max int, spillDir string, spillMaxBytes int64, m *Metrics) *Cache {
+// DefaultSpillMaxBytes). fs is the filesystem the spill tier talks to
+// (nil = the real one); tests and the chaos soak pass a faultfs.Faulty.
+// When the disk tier is enabled, construction sweeps partially written
+// *.tmp files left behind by a crash between write and rename.
+func NewCache(max int, spillDir string, spillMaxBytes int64, fs faultfs.FS, m *Metrics) *Cache {
 	if max <= 0 {
 		max = DefaultCacheSize
 	}
 	if spillMaxBytes <= 0 {
 		spillMaxBytes = DefaultSpillMaxBytes
 	}
+	if fs == nil {
+		fs = faultfs.OS{}
+	}
 	if m == nil {
 		m = NewMetrics()
 	}
-	return &Cache{
+	c := &Cache{
 		max:     max,
 		ll:      list.New(),
 		items:   make(map[string]*list.Element),
 		spill:   spillDir,
 		budget:  spillMaxBytes,
+		fs:      fs,
 		codecs:  make(map[string]cacheCodec),
 		metrics: m,
+	}
+	if c.spill != "" {
+		c.sweepTmp()
+	}
+	return c
+}
+
+// sweepTmp removes *.tmp files left in the spill directory by a crash
+// between WriteFile and Rename. A missing directory (or an injected ReadDir
+// fault) is fine — the sweep is best-effort like everything else on disk.
+func (c *Cache) sweepTmp() {
+	entries, err := c.fs.ReadDir(c.spill)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		if c.fs.Remove(filepath.Join(c.spill, e.Name())) == nil {
+			c.metrics.CacheSpillTmpSwept.Add(1)
+		}
 	}
 }
 
@@ -93,6 +137,47 @@ func kindOf(key string) string {
 
 func (c *Cache) spillPath(key string) string {
 	return filepath.Join(c.spill, kindOf(key)+"-"+hashString(key)+".gob")
+}
+
+// Spill-file envelope. Every spill file is
+//
+//	magic "WFS1" | uint32 BE CRC32(payload) | uint64 BE len(payload) | payload
+//
+// so a torn write (short file), a truncated payload, or any bit flip in
+// payload or header fails openSpill and quarantines the file instead of
+// feeding a corrupt artifact back into the engine.
+const spillMagic = "WFS1"
+
+const spillHeaderLen = 4 + 4 + 8
+
+// sealSpill wraps an encoded payload in the checksum envelope.
+func sealSpill(payload []byte) []byte {
+	out := make([]byte, spillHeaderLen+len(payload))
+	copy(out, spillMagic)
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	binary.BigEndian.PutUint64(out[8:16], uint64(len(payload)))
+	copy(out[spillHeaderLen:], payload)
+	return out
+}
+
+// openSpill verifies the envelope and returns the payload.
+func openSpill(data []byte) ([]byte, error) {
+	if len(data) < spillHeaderLen {
+		return nil, fmt.Errorf("engine: spill file truncated: %d bytes < %d-byte header", len(data), spillHeaderLen)
+	}
+	if string(data[:4]) != spillMagic {
+		return nil, fmt.Errorf("engine: spill file has bad magic %q", data[:4])
+	}
+	want := binary.BigEndian.Uint32(data[4:8])
+	n := binary.BigEndian.Uint64(data[8:16])
+	payload := data[spillHeaderLen:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("engine: spill payload is %d bytes, header says %d", len(payload), n)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("engine: spill checksum mismatch: crc32 %08x, header says %08x", got, want)
+	}
+	return payload, nil
 }
 
 // Cache tiers as reported by GetTier (and recorded as the cache.lookup
@@ -113,6 +198,13 @@ func (c *Cache) Get(key string) (any, bool) {
 
 // GetTier is Get, additionally reporting which tier answered: TierMemory,
 // TierDisk (rehydrated from a spill gob), or TierMiss.
+//
+// The disk tier can fail in three ways, none of which surfaces as an error:
+// an unreadable file is a miss (counted under cache_spill_read_errors when
+// the file exists but cannot be read), and a file whose checksum or gob
+// decode fails is quarantined — removed, counted under cache_spill_corrupt,
+// and reported as a miss so the caller recomputes. A corrupt spill file can
+// cost a recomputation; it can never cost a wrong verdict.
 func (c *Cache) GetTier(key string) (any, string, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
@@ -129,22 +221,39 @@ func (c *Cache) GetTier(key string) (any, string, bool) {
 	if !ok {
 		return nil, TierMiss, false
 	}
-	data, err := os.ReadFile(c.spillPath(key))
+	data, err := c.fs.ReadFile(c.spillPath(key))
 	if err != nil {
+		if !os.IsNotExist(err) {
+			c.metrics.CacheSpillReadErrors.Add(1)
+		}
 		return nil, TierMiss, false
 	}
-	v, err := codec.decode(data)
+	payload, err := openSpill(data)
 	if err != nil {
+		c.quarantine(key)
+		return nil, TierMiss, false
+	}
+	v, err := codec.decode(payload)
+	if err != nil {
+		c.quarantine(key)
 		return nil, TierMiss, false
 	}
 	c.metrics.CacheDiskHits.Add(1)
 	// The entry is live in memory again; drop the gob so evict/rehydrate
 	// cycles do not accrete one file per generation. Re-eviction re-spills.
-	if os.Remove(c.spillPath(key)) == nil {
+	if c.fs.Remove(c.spillPath(key)) == nil {
 		c.metrics.CacheSpillRemoved.Add(1)
 	}
 	c.Put(key, v)
 	return v, TierDisk, true
+}
+
+// quarantine removes a spill file that failed its checksum or decode and
+// counts it. The removal itself is best-effort: if it fails, the next read
+// re-quarantines.
+func (c *Cache) quarantine(key string) {
+	c.metrics.CacheSpillCorrupt.Add(1)
+	c.fs.Remove(c.spillPath(key))
 }
 
 // Put stores a value, evicting (and spilling) the least recently used
@@ -159,7 +268,7 @@ func (c *Cache) Put(key string, val any) {
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
 	var evicted []*cacheEntry
-	for c.ll.Len() > c.max {
+	for c.ll.Len() > c.max+c.over {
 		back := c.ll.Back()
 		ent := back.Value.(*cacheEntry)
 		c.ll.Remove(back)
@@ -185,28 +294,63 @@ func (c *Cache) spillEntry(ent *cacheEntry) {
 	if err != nil {
 		return
 	}
-	if err := os.MkdirAll(c.spill, 0o755); err != nil {
+	sealed := sealSpill(data)
+	if err := c.fs.MkdirAll(c.spill, 0o755); err != nil {
+		c.spillFailed(ent)
 		return
 	}
 	tmp := c.spillPath(ent.key) + ".tmp"
 	c.spillMu.Lock()
 	defer c.spillMu.Unlock()
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := c.fs.WriteFile(tmp, sealed, 0o644); err != nil {
+		c.fs.Remove(tmp)
+		c.spillFailed(ent)
 		return
 	}
-	if err := os.Rename(tmp, c.spillPath(ent.key)); err != nil {
-		os.Remove(tmp)
+	if err := c.fs.Rename(tmp, c.spillPath(ent.key)); err != nil {
+		c.fs.Remove(tmp)
+		c.spillFailed(ent)
 		return
 	}
 	c.metrics.CacheSpills.Add(1)
+	// A successful spill signals the disk recovered: release one unit of
+	// failure overflow, so the next eviction drains a previously retained
+	// entry to disk and the memory tier shrinks back to its nominal bound.
+	c.mu.Lock()
+	if c.over > 0 {
+		c.over--
+	}
+	c.mu.Unlock()
 	c.sweepSpillLocked()
+}
+
+// spillOverflowMax bounds how many evicted-but-unspillable entries the
+// memory tier retains past its nominal capacity: enough that a briefly full
+// disk costs nothing, small enough that a permanently failing disk costs a
+// constant amount of memory and one failed spill attempt per eviction.
+const spillOverflowMax = 8
+
+// spillFailed is the best-effort degradation path: a spill write that cannot
+// land on disk (full disk, read-only dir, injected fault) is counted and the
+// evicted entry is re-inserted at the cold end of the memory tier, so the
+// value stays servable. At most spillOverflowMax entries are retained this
+// way; past that, the coldest entries are dropped and recomputed on demand —
+// a full disk degrades cache capacity, never a query.
+func (c *Cache) spillFailed(ent *cacheEntry) {
+	c.metrics.CacheSpillWriteErrors.Add(1)
+	c.mu.Lock()
+	if _, ok := c.items[ent.key]; !ok && c.over < spillOverflowMax {
+		c.items[ent.key] = c.ll.PushBack(ent)
+		c.over++
+	}
+	c.mu.Unlock()
 }
 
 // sweepSpillLocked enforces the spill directory's byte budget by deleting
 // the oldest gob files (by modification time — a proxy for least recently
 // spilled) until the directory fits. Caller holds spillMu.
 func (c *Cache) sweepSpillLocked() {
-	entries, err := os.ReadDir(c.spill)
+	entries, err := c.fs.ReadDir(c.spill)
 	if err != nil {
 		return
 	}
@@ -236,7 +380,7 @@ func (c *Cache) sweepSpillLocked() {
 		if total <= c.budget {
 			return
 		}
-		if os.Remove(filepath.Join(c.spill, f.name)) == nil {
+		if c.fs.Remove(filepath.Join(c.spill, f.name)) == nil {
 			total -= f.size
 			c.metrics.CacheSpillRemoved.Add(1)
 		}

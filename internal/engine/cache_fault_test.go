@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"waitfree/internal/faultfs"
+)
+
+func newSpillCache(t *testing.T, max int, dir string, fs faultfs.FS, m *Metrics) *Cache {
+	t.Helper()
+	c := NewCache(max, dir, 0, fs, m)
+	c.registerCodec("cx",
+		func(v any) ([]byte, error) { return gobEncode(v.(*ComplexResponse)) },
+		func(data []byte) (any, error) { var r ComplexResponse; err := gobDecode(data, &r); return &r, err })
+	return c
+}
+
+// TestSpillEnvelopeRoundTrip pins the checksum format: seal then open is the
+// identity, and every byte of the envelope is load-bearing.
+func TestSpillEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte("the facets of SDS^b(s^n)")
+	sealed := sealSpill(payload)
+	if got, err := openSpill(sealed); err != nil || string(got) != string(payload) {
+		t.Fatalf("round trip: %q, %v", got, err)
+	}
+	// Flipping any single bit — magic, CRC, length, or payload — must fail.
+	for i := 0; i < len(sealed); i++ {
+		bad := append([]byte(nil), sealed...)
+		bad[i] ^= 0x40
+		if _, err := openSpill(bad); err == nil {
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+	}
+	// A torn prefix of any length must fail too.
+	for n := 0; n < len(sealed); n++ {
+		if _, err := openSpill(sealed[:n]); err == nil {
+			t.Fatalf("torn file of %d bytes went undetected", n)
+		}
+	}
+}
+
+// evictOne puts filler entries until the target key's entry is evicted and
+// spilled to disk.
+func evictOne(t *testing.T, c *Cache, key string, val *ComplexResponse) string {
+	t.Helper()
+	c.Put(key, val)
+	for i := 0; i < c.max+1; i++ {
+		c.Put(fmt.Sprintf("cx:filler=%d", i), &ComplexResponse{N: 90 + i})
+	}
+	path := c.spillPath(key)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("entry %q should have spilled to %s: %v", key, path, err)
+	}
+	return path
+}
+
+// TestSpillCorruptionQuarantined is the satellite's acceptance test:
+// hand-truncated and bit-flipped spill files rehydrate as misses with the
+// file quarantined (removed, counted) — never as a corrupt artifact, never
+// as an error.
+func TestSpillCorruptionQuarantined(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bitflipped", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-3] ^= 0x01 // payload bit: CRC catches it
+			return out
+		}},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"garbage-gob", func(b []byte) []byte {
+			// A valid envelope over a corrupt payload: the CRC passes, the
+			// gob decode must catch it and still quarantine.
+			payload := []byte("not a gob stream at all")
+			return sealSpill(payload)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			m := NewMetrics()
+			c := newSpillCache(t, 2, dir, nil, m)
+			path := evictOne(t, c, "cx:victim", &ComplexResponse{N: 7})
+
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			before := m.CacheSpillCorrupt.Load()
+			if v, tier, ok := c.GetTier("cx:victim"); ok {
+				t.Fatalf("corrupt spill served as a %s hit: %+v", tier, v)
+			}
+			if got := m.CacheSpillCorrupt.Load() - before; got != 1 {
+				t.Errorf("cache_spill_corrupt moved by %d, want 1", got)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt file should be quarantined (removed), stat: %v", err)
+			}
+			// The miss is recoverable: recompute, re-put, rehydrate cleanly.
+			c.Put("cx:victim", &ComplexResponse{N: 7})
+			if v, ok := c.Get("cx:victim"); !ok || v.(*ComplexResponse).N != 7 {
+				t.Fatalf("recomputed entry should serve: %+v, %v", v, ok)
+			}
+		})
+	}
+}
+
+// TestTmpFileSweptOnStartup: a partially written temp file left by a crash
+// between write and rename is removed when the cache starts.
+func TestTmpFileSweptOnStartup(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "cx-deadbeef.gob.tmp")
+	if err := os.WriteFile(stale, []byte("partial write, then a crash"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "cx-cafef00d.gob")
+	if err := os.WriteFile(keep, sealSpill([]byte("x")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	NewCache(2, dir, 0, nil, m)
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale tmp file survived startup, stat: %v", err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("non-tmp spill file must survive the sweep: %v", err)
+	}
+	if m.CacheSpillTmpSwept.Load() != 1 {
+		t.Errorf("cache_spill_tmp_swept = %d, want 1", m.CacheSpillTmpSwept.Load())
+	}
+}
+
+// failWriteFS fails every write-side operation — a disk that is full or
+// read-only — while reads pass through.
+type failWriteFS struct {
+	faultfs.OS
+	failMkdir bool
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (f failWriteFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return errDiskFull
+}
+
+func (f failWriteFS) MkdirAll(path string, perm os.FileMode) error {
+	if f.failMkdir {
+		return errDiskFull
+	}
+	return f.OS.MkdirAll(path, perm)
+}
+
+// TestSpillWriteFailureIsBestEffort is the full-disk satellite: spill-write
+// failures are counted, the evicted entry stays servable from the memory
+// tier (bounded overflow), and no query ever observes an error.
+func TestSpillWriteFailureIsBestEffort(t *testing.T) {
+	for _, mode := range []string{"writefile", "mkdirall"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			m := NewMetrics()
+			c := newSpillCache(t, 2, dir, failWriteFS{failMkdir: mode == "mkdirall"}, m)
+
+			c.Put("cx:pinned", &ComplexResponse{N: 42})
+			for i := 0; i < 2; i++ {
+				c.Put(fmt.Sprintf("cx:n=%d", i), &ComplexResponse{N: i})
+			}
+			// cx:pinned was evicted, its spill failed; it must still be
+			// servable — from memory, since the disk never accepted it.
+			if m.CacheSpillWriteErrors.Load() == 0 {
+				t.Fatal("expected cache_spill_write_errors to count the failed spill")
+			}
+			v, tier, ok := c.GetTier("cx:pinned")
+			if !ok || v.(*ComplexResponse).N != 42 {
+				t.Fatalf("entry lost to a failed spill: %+v, %v", v, ok)
+			}
+			if tier != TierMemory {
+				t.Fatalf("entry served from %q, want the memory tier (disk is down)", tier)
+			}
+			if m.CacheSpills.Load() != 0 {
+				t.Errorf("no spill can succeed on a dead disk, counted %d", m.CacheSpills.Load())
+			}
+		})
+	}
+}
+
+// TestSpillOverflowBounded: under a permanently failing disk the memory tier
+// retains at most spillOverflowMax entries past its nominal capacity — a
+// full disk costs a constant, not unbounded growth.
+func TestSpillOverflowBounded(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMetrics()
+	const max = 4
+	c := newSpillCache(t, max, dir, failWriteFS{}, m)
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("cx:churn=%d", i), &ComplexResponse{N: i})
+	}
+	if got := c.Len(); got > max+spillOverflowMax {
+		t.Fatalf("memory tier grew to %d entries; bound is %d+%d", got, max, spillOverflowMax)
+	}
+	if m.CacheSpillWriteErrors.Load() == 0 {
+		t.Fatal("expected spill write errors under a dead disk")
+	}
+}
+
+// TestSpillRecoveryDrainsOverflow: when the disk heals, successful spills
+// release the failure overflow and the memory tier shrinks back toward its
+// nominal bound.
+func TestSpillRecoveryDrainsOverflow(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMetrics()
+	const max = 2
+	ffs := faultfs.New(faultfs.OS{}, 1, 1.0) // every op faults
+	c := newSpillCache(t, max, dir, ffs, m)
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("cx:sick=%d", i), &ComplexResponse{N: i})
+	}
+	over := c.Len() - max
+	if over <= 0 {
+		t.Fatalf("expected failure overflow while the disk is down, len=%d", c.Len())
+	}
+	ffs.SetEnabled(false) // the disk heals
+	for i := 0; i < 20+spillOverflowMax; i++ {
+		c.Put(fmt.Sprintf("cx:healed=%d", i), &ComplexResponse{N: i})
+	}
+	if got := c.Len(); got != max {
+		t.Fatalf("after recovery the memory tier holds %d entries, want %d", got, max)
+	}
+	if m.CacheSpills.Load() == 0 {
+		t.Fatal("expected successful spills after the disk healed")
+	}
+}
+
+// TestFaultySpillNeverServesCorrupt drives an eviction/rehydrate churn
+// through a seeded fault injector and checks the engine-facing contract:
+// every Get either returns the exact value that was Put or a miss — never a
+// corrupted artifact, never an error — and injected corruption shows up as
+// quarantines, not as wrong answers.
+func TestFaultySpillNeverServesCorrupt(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			m := NewMetrics()
+			ffs := faultfs.New(faultfs.OS{}, seed, 0.4)
+			c := newSpillCache(t, 2, dir, ffs, m)
+			for round := 0; round < 30; round++ {
+				for i := 0; i < 5; i++ {
+					key := fmt.Sprintf("cx:val=%d", i)
+					if v, ok := c.Get(key); ok {
+						if got := v.(*ComplexResponse).N; got != i {
+							t.Fatalf("round %d: key %q served %d, want %d (fault schedule seed=%d leaked corruption)",
+								round, key, got, i, seed)
+						}
+					} else {
+						c.Put(key, &ComplexResponse{N: i})
+					}
+				}
+			}
+			if ffs.Injected() == 0 {
+				t.Fatal("the storage adversary never injected a fault; the soak proved nothing")
+			}
+		})
+	}
+}

@@ -35,7 +35,7 @@ func spillDirBytes(t *testing.T, dir string) int64 {
 func TestSpillRehydrateRemovesFile(t *testing.T) {
 	dir := t.TempDir()
 	m := NewMetrics()
-	c := NewCache(2, dir, 0, m)
+	c := NewCache(2, dir, 0, nil, m)
 	c.registerCodec("cx",
 		func(v any) ([]byte, error) { return gobEncode(v.(*ComplexResponse)) },
 		func(data []byte) (any, error) { var r ComplexResponse; err := gobDecode(data, &r); return &r, err })
@@ -64,7 +64,7 @@ func TestSpillByteBudgetSweep(t *testing.T) {
 	dir := t.TempDir()
 	m := NewMetrics()
 	const budget = 4096
-	c := NewCache(1, dir, budget, m)
+	c := NewCache(1, dir, budget, nil, m)
 	c.registerCodec("cx",
 		func(v any) ([]byte, error) { return gobEncode(v.(*ComplexResponse)) },
 		func(data []byte) (any, error) { var r ComplexResponse; err := gobDecode(data, &r); return &r, err })

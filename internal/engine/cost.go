@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"waitfree/internal/topology"
+)
+
+// Cost estimation: the admission controller's closed-form model of how much
+// work a query commits the engine to, measured in facets materialized —
+// computed from the Lemma 3.3 recurrence without building any subdivision.
+//
+// Each m-vertex facet of a level-b complex subdivides into Fubini(m) facets
+// at level b+1 (the lemma's facets(b) = Fubini(n+1)·facets(b−1) in closed
+// form), so the chain a query walks materializes
+//
+//	Σ_{b=0}^{B} Σ_{facets f of I} Fubini(|f|)^b
+//
+// facets in total. That sum is the dominant memory and subdivision cost of
+// solve/complex/converge queries, and — unlike the solver's backtracking
+// node count — it is computable exactly, in microseconds, before admitting
+// the query. The serving layer rejects estimates over its budget with 400
+// (wrapping ErrOverBudget) before a worker slot is ever committed, the same
+// way the emulation accounts for steps before granting them.
+
+// CostUnbounded is returned when the estimate overflows int64 — by
+// definition over any configurable budget.
+const CostUnbounded = int64(math.MaxInt64)
+
+// satAdd and satMul saturate at CostUnbounded instead of wrapping.
+func satAdd(a, b int64) int64 {
+	if a > CostUnbounded-b {
+		return CostUnbounded
+	}
+	return a + b
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > CostUnbounded/b {
+		return CostUnbounded
+	}
+	return a * b
+}
+
+// chainCost is Σ_{b=0}^{maxLevel} facets·Fubini(m)^b: the total facet count
+// of a subdivision chain whose base has `facets` facets of m vertices each.
+func chainCost(facets int64, m, maxLevel int) int64 {
+	fub, err := topology.CountOrderedPartitionsChecked(m)
+	if err != nil {
+		return CostUnbounded
+	}
+	var total, level int64 = 0, facets
+	for b := 0; b <= maxLevel; b++ {
+		total = satAdd(total, level)
+		level = satMul(level, int64(fub))
+	}
+	return total
+}
+
+// complexChainCost sums chainCost per facet of c (facet sizes can differ in
+// non-pure input complexes).
+func complexChainCost(c *topology.Complex, maxLevel int) int64 {
+	var total int64
+	for _, f := range c.Facets() {
+		total = satAdd(total, chainCost(1, len(f), maxLevel))
+	}
+	return total
+}
+
+// EstimateCost returns the Lemma 3.3 facet-count estimate for a solve query:
+// the total facets of the SDS chain over the task's input complex through
+// MaxLevel. Invalid specs return the same ErrInvalid the engine would.
+func (r SolveRequest) EstimateCost() (int64, error) {
+	if r.MaxLevel < 0 || r.MaxLevel > MaxSolveLevel {
+		return 0, fmt.Errorf("%w: max_level=%d out of range [0,%d]", ErrInvalid, r.MaxLevel, MaxSolveLevel)
+	}
+	task, err := r.Spec.Build()
+	if err != nil {
+		return 0, err
+	}
+	return complexChainCost(task.Inputs, r.MaxLevel), nil
+}
+
+// EstimateCost returns the facet-count estimate for a complex query: the
+// chain over the standard n-simplex through level B.
+func (r ComplexRequest) EstimateCost() (int64, error) {
+	if r.N < 0 || r.B < 0 {
+		return 0, fmt.Errorf("%w: n=%d b=%d must be non-negative", ErrInvalid, r.N, r.B)
+	}
+	return chainCost(1, r.N+1, r.B), nil
+}
+
+// EstimateCost returns the facet-count estimate for a converge query: the
+// target chain through Target plus the domain chain through MaxK (the search
+// walks every domain level up to MaxK).
+func (r ConvergeRequest) EstimateCost() (int64, error) {
+	if r.N < 0 || r.Target < 0 || r.MaxK < 0 {
+		return 0, fmt.Errorf("%w: n=%d target=%d max_k=%d must be non-negative", ErrInvalid, r.N, r.Target, r.MaxK)
+	}
+	return satAdd(chainCost(1, r.N+1, r.Target), chainCost(1, r.N+1, r.MaxK)), nil
+}
+
+// EstimateCost returns the cost of an adversary replay: one emulated step
+// per budgeted step per process — far below any facet-denominated budget,
+// which is the point: replays are always cheap to admit.
+func (r AdversaryRequest) EstimateCost() (int64, error) {
+	steps := int64(r.MaxSteps)
+	if steps <= 0 {
+		steps = 1024 // the replay's own default budget bounds it
+	}
+	return satMul(int64(r.Procs)+1, steps), nil
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"waitfree/internal/converge"
+	"waitfree/internal/faultfs"
 	"waitfree/internal/obs"
 	"waitfree/internal/solver"
 	"waitfree/internal/topology"
@@ -31,6 +32,10 @@ type Options struct {
 	// SpillMaxBytes bounds the spill directory's total size; old files are
 	// swept oldest-first past the budget. 0 = DefaultSpillMaxBytes.
 	SpillMaxBytes int64
+	// SpillFS is the filesystem the spill tier talks to; nil = the real one.
+	// The chaos soak (and the dev-only -faultseed flag) pass a seeded
+	// faultfs.Faulty here to run the storage adversary against a live engine.
+	SpillFS faultfs.FS
 	// Workers bounds subdivision/solver parallelism; 0 = runtime.NumCPU().
 	Workers int
 	// MaxNodes is the default per-level solver budget for requests that do
@@ -60,7 +65,7 @@ type Engine struct {
 func New(o Options) *Engine {
 	m := NewMetrics()
 	e := &Engine{
-		cache:    NewCache(o.CacheSize, o.SpillDir, o.SpillMaxBytes, m),
+		cache:    NewCache(o.CacheSize, o.SpillDir, o.SpillMaxBytes, o.SpillFS, m),
 		workers:  o.Workers,
 		maxNodes: o.MaxNodes,
 		metrics:  m,
@@ -96,6 +101,16 @@ func (e *Engine) Metrics() *Metrics { return e.metrics }
 
 // CacheLen returns the number of in-memory cache entries.
 func (e *Engine) CacheLen() int { return e.cache.Len() }
+
+// HasCached reports whether the store (memory or disk tier) already holds an
+// answer for the given request key. The serving layer uses it in degraded
+// mode: a cache hit is always admissible because answering it costs no
+// computation and no spill write. A disk-tier hit rehydrates the entry, so a
+// positive answer means the follow-up query is a memory hit.
+func (e *Engine) HasCached(key string) bool {
+	_, ok := e.cache.Get(key)
+	return ok
+}
 
 // canceledErr counts (at whole-query granularity) and wraps a cancellation
 // so callers can errors.Is(err, ErrCanceled) regardless of which layer the

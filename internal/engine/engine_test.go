@@ -160,7 +160,7 @@ func TestFlightGroup(t *testing.T) {
 func TestCacheLRUAndSpill(t *testing.T) {
 	dir := t.TempDir()
 	m := NewMetrics()
-	c := NewCache(2, dir, 0, m)
+	c := NewCache(2, dir, 0, nil, m)
 	c.registerCodec("cx",
 		func(v any) ([]byte, error) { return gobEncode(v.(*ComplexResponse)) },
 		func(data []byte) (any, error) { var r ComplexResponse; err := gobDecode(data, &r); return &r, err })

@@ -22,6 +22,13 @@ var (
 	// work is discarded and nothing is cached — a canceled search is not a
 	// verdict.
 	ErrCanceled = errors.New("engine: query canceled")
+
+	// ErrOverBudget marks queries rejected at admission because their
+	// Lemma 3.3 cost estimate exceeds the serving budget. Like ErrInvalid,
+	// the query was never attempted — the serving layer maps it to 400 and
+	// puts the estimate in the response body so the client can resize the
+	// query instead of retrying it.
+	ErrOverBudget = errors.New("engine: query exceeds cost budget")
 )
 
 // isCancellation reports whether err is any form of cooperative

@@ -11,6 +11,7 @@ package engine
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -120,6 +121,16 @@ type Metrics struct {
 	CacheDiskHits  atomic.Int64
 	// Spill files removed by the byte-budget sweep or on rehydrate.
 	CacheSpillRemoved atomic.Int64
+	// Spill-tier failure taxonomy (all best-effort paths — none of these
+	// ever fails a query):
+	//   WriteErrors — evictions whose spill could not land on disk;
+	//   ReadErrors  — spill files that exist but could not be read;
+	//   Corrupt     — files quarantined for checksum/decode failure;
+	//   TmpSwept    — partial *.tmp files swept at startup.
+	CacheSpillWriteErrors atomic.Int64
+	CacheSpillReadErrors  atomic.Int64
+	CacheSpillCorrupt     atomic.Int64
+	CacheSpillTmpSwept    atomic.Int64
 	// Singleflight: queries that waited on an identical in-flight one.
 	Deduped atomic.Int64
 	// Queries abandoned mid-computation (client disconnect or deadline),
@@ -179,21 +190,52 @@ func (m *Metrics) HistCount(name string) int64 {
 	return 0
 }
 
+// SpillFaults is the spill tier's total failure count — write errors, read
+// errors, and quarantined corruptions. The serving layer's failure-rate
+// breaker watches this sum: a burst of spill faults trips the engine into
+// degraded mode before corruption can turn into latency or load amplification.
+func (m *Metrics) SpillFaults() int64 {
+	return m.CacheSpillWriteErrors.Load() + m.CacheSpillReadErrors.Load() + m.CacheSpillCorrupt.Load()
+}
+
+// MaxQuantile returns the largest q-quantile (in milliseconds) among the
+// success histograms whose names start with prefix; "_error" histograms are
+// skipped so failed-query latencies never inflate the estimate. The serving
+// layer derives Retry-After hints from it (queue depth × recent p50).
+func (m *Metrics) MaxQuantile(prefix string, q float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max float64
+	for name, h := range m.hists {
+		if !strings.HasPrefix(name, prefix) || strings.HasSuffix(name, "_error") {
+			continue
+		}
+		if v := h.quantile(q); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
 // Snapshot returns all counters, gauges, and histograms as a flat map
 // suitable for JSON encoding on /metrics.
 func (m *Metrics) Snapshot() map[string]any {
 	out := map[string]any{
-		"cache_hits":          m.CacheHits.Load(),
-		"cache_misses":        m.CacheMisses.Load(),
-		"cache_evictions":     m.CacheEvictions.Load(),
-		"cache_spills":        m.CacheSpills.Load(),
-		"cache_disk_hits":     m.CacheDiskHits.Load(),
-		"cache_spill_removed": m.CacheSpillRemoved.Load(),
-		"deduped":             m.Deduped.Load(),
-		"canceled":            m.Canceled.Load(),
-		"in_flight":           m.InFlight.Load(),
-		"queue_depth":         m.QueueDepth.Load(),
-		"rejected":            m.Rejected.Load(),
+		"cache_hits":               m.CacheHits.Load(),
+		"cache_misses":             m.CacheMisses.Load(),
+		"cache_evictions":          m.CacheEvictions.Load(),
+		"cache_spills":             m.CacheSpills.Load(),
+		"cache_disk_hits":          m.CacheDiskHits.Load(),
+		"cache_spill_removed":      m.CacheSpillRemoved.Load(),
+		"cache_spill_write_errors": m.CacheSpillWriteErrors.Load(),
+		"cache_spill_read_errors":  m.CacheSpillReadErrors.Load(),
+		"cache_spill_corrupt":      m.CacheSpillCorrupt.Load(),
+		"cache_spill_tmp_swept":    m.CacheSpillTmpSwept.Load(),
+		"deduped":                  m.Deduped.Load(),
+		"canceled":                 m.Canceled.Load(),
+		"in_flight":                m.InFlight.Load(),
+		"queue_depth":              m.QueueDepth.Load(),
+		"rejected":                 m.Rejected.Load(),
 	}
 	m.mu.Lock()
 	names := make([]string, 0, len(m.counters))

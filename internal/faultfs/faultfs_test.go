@@ -1,0 +1,185 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// pinnedPlanSeed1 is the byte-for-byte fault schedule for (seed=1,
+// rate=0.25): the repo's seeded-adversary convention from internal/sched,
+// applied to storage. If this test ever fails, the determinism contract is
+// broken and every recorded chaos failure stops being reproducible.
+const pinnedPlanSeed1 = `faultfs plan seed=1 rate=0.25
+op=0 kind=none arg=6129484611666145821
+op=1 kind=none arg=6334824724549167320
+op=2 kind=eio arg=894385949183117216
+op=3 kind=none arg=7504504064263669287
+op=4 kind=enospc arg=2933568871211445515
+op=5 kind=none arg=2703387474910584091
+op=6 kind=none arg=1874068156324778273
+op=7 kind=none arg=7955079406183515637
+op=8 kind=none arg=6941261091797652072
+op=9 kind=torn arg=6426100070888298971
+op=10 kind=none arg=1460320609597786623
+op=11 kind=none arg=732830328053361739
+`
+
+func TestPlanDeterminism(t *testing.T) {
+	f := New(OS{}, 1, 0.25)
+	if got := f.PlanString(12); got != pinnedPlanSeed1 {
+		t.Errorf("plan for seed=1 drifted:\n got: %q\nwant: %q", got, pinnedPlanSeed1)
+	}
+	// Rendering the plan must not consume it, and two injectors with equal
+	// (seed, rate) must agree byte-for-byte at any horizon.
+	g := New(OS{}, 1, 0.25)
+	if f.PlanString(64) != g.PlanString(64) {
+		t.Error("two injectors with the same seed render different plans")
+	}
+	if New(OS{}, 2, 0.25).PlanString(64) == g.PlanString(64) {
+		t.Error("different seeds should give different plans")
+	}
+}
+
+// TestInjectionFollowsPlan replays seed 1 against a real temp dir and checks
+// that each operation meets exactly the fault its plan slot schedules.
+func TestInjectionFollowsPlan(t *testing.T) {
+	dir := t.TempDir()
+	f := New(OS{}, 1, 0.25)
+	path := filepath.Join(dir, "x")
+	payload := []byte("0123456789abcdef0123456789abcdef")
+
+	// ops 0, 1: none — a write and a read pass through.
+	if err := f.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatalf("op 0 (none): %v", err)
+	}
+	if data, err := f.ReadFile(path); err != nil || string(data) != string(payload) {
+		t.Fatalf("op 1 (none): %q, %v", data, err)
+	}
+	// op 2: eio on read.
+	if _, err := f.ReadFile(path); !errors.Is(err, ErrIO) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2 (eio): got %v", err)
+	}
+	// op 3: none.
+	if err := f.Rename(path, path+".2"); err != nil {
+		t.Fatalf("op 3 (none): %v", err)
+	}
+	// op 4: enospc on write; the file must not be created.
+	if err := f.WriteFile(filepath.Join(dir, "full"), payload, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("op 4 (enospc): got %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "full")); !os.IsNotExist(err) {
+		t.Fatal("enospc write should not create the file")
+	}
+	// ops 5-8: none.
+	for i := 5; i <= 8; i++ {
+		if err := f.MkdirAll(filepath.Join(dir, "d"), 0o755); err != nil {
+			t.Fatalf("op %d (none): %v", i, err)
+		}
+	}
+	// op 9: torn write — reports success but persists only a prefix.
+	torn := filepath.Join(dir, "torn")
+	if err := f.WriteFile(torn, payload, 0o644); err != nil {
+		t.Fatalf("op 9 (torn) must report success, got %v", err)
+	}
+	got, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("torn write persisted %d bytes, want a strict prefix of %d", len(got), len(payload))
+	}
+	if string(got) != string(payload[:len(got)]) {
+		t.Fatalf("torn write persisted %q, not a prefix of the payload", got)
+	}
+	if f.Injected() != 3 {
+		t.Errorf("injected = %d, want 3 (eio, enospc, torn)", f.Injected())
+	}
+}
+
+// TestBitFlipCorruptsOneBit finds a bitflip slot in a high-rate plan and
+// checks the write persists the full length with exactly one bit inverted.
+func TestBitFlipCorruptsOneBit(t *testing.T) {
+	dir := t.TempDir()
+	f := New(OS{}, 3, 1.0) // every op faults; find the first bitflip slot
+	var slot int
+	for i := 0; ; i++ {
+		f.mu.Lock()
+		e := f.entryLocked(i)
+		f.mu.Unlock()
+		if e.kind == KindBitFlip {
+			slot = i
+			break
+		}
+		if i > 1000 {
+			t.Fatal("no bitflip in the first 1000 slots at rate 1.0")
+		}
+	}
+	// Burn the slots before it on Remove ops against a missing path (the
+	// injector consumes the slot whether or not the inner op succeeds).
+	for i := 0; i < slot; i++ {
+		f.Remove(filepath.Join(dir, "missing"))
+	}
+	path := filepath.Join(dir, "flip")
+	payload := make([]byte, 64)
+	if err := f.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatalf("bitflip write must report success, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("bitflip write persisted %d bytes, want %d", len(got), len(payload))
+	}
+	flipped := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^payload[i])&(1<<b) != 0 {
+				flipped++
+			}
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", flipped)
+	}
+}
+
+// TestDisableSuspendsInjection: while disabled, no faults inject and no plan
+// entries are consumed, so a heal phase does not shift the schedule.
+func TestDisableSuspendsInjection(t *testing.T) {
+	dir := t.TempDir()
+	f := New(OS{}, 1, 1.0)
+	f.SetEnabled(false)
+	path := filepath.Join(dir, "y")
+	for i := 0; i < 20; i++ {
+		if err := f.WriteFile(path, []byte("hello"), 0o644); err != nil {
+			t.Fatalf("disabled injector must pass through, got %v", err)
+		}
+	}
+	if f.Injected() != 0 {
+		t.Fatalf("injected %d faults while disabled", f.Injected())
+	}
+	f.SetEnabled(true)
+	// Re-enabled, the *first* plan entry is consumed next (nothing was
+	// burned while disabled). At rate 1.0 slot 0 is a fault.
+	err := f.WriteFile(path, []byte("hello"), 0o644)
+	data, rerr := os.ReadFile(path)
+	if err == nil && rerr == nil && string(data) == "hello" {
+		t.Fatal("re-enabled injector at rate 1.0 should fault the next write")
+	}
+}
+
+// TestPlanStringMentionsEveryKind keeps the schedule rendering honest: a
+// long high-rate plan exercises all four fault kinds.
+func TestPlanStringMentionsEveryKind(t *testing.T) {
+	plan := New(OS{}, 7, 1.0).PlanString(256)
+	for _, kind := range []string{"eio", "enospc", "torn", "bitflip"} {
+		if !strings.Contains(plan, "kind="+kind) {
+			t.Errorf("plan never schedules %q:\n%s", kind, plan[:200])
+		}
+	}
+}

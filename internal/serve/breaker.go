@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerOptions configures the failure-rate breaker that trips the server
+// into degraded mode.
+type BreakerOptions struct {
+	// Threshold is how many failures within Window trip the breaker;
+	// 0 = DefaultBreakerThreshold.
+	Threshold int
+	// Window is the sliding window failures are counted over;
+	// 0 = DefaultBreakerWindow.
+	Window time.Duration
+	// Cooldown is how long the breaker stays tripped after the *last*
+	// failure before recovering to ok; 0 = DefaultBreakerCooldown. New
+	// failures while tripped restart the cooldown — recovery requires a
+	// quiet period, not just elapsed time.
+	Cooldown time.Duration
+}
+
+// Breaker defaults: failures are rare events on a healthy server, so a small
+// burst within a short window is already a signal; the cooldown is long
+// enough for a transient disk condition to clear.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerWindow    = 10 * time.Second
+	DefaultBreakerCooldown  = 15 * time.Second
+)
+
+// breaker is the failure-rate circuit breaker behind degraded mode. It
+// counts discrete failure events — spill-tier I/O faults and 5xx responses —
+// in a sliding window; at Threshold it trips, and it recovers once Cooldown
+// elapses with no further failures. All methods are safe for concurrent use.
+//
+// The state machine is deliberately two-state (ok ⇄ tripped) with time-based
+// recovery rather than half-open probing: the failure sources it watches
+// (spill faults, timeouts) are passive observations, so "no failures for
+// Cooldown" is exactly the probe a half-open state would perform.
+type breaker struct {
+	threshold int
+	window    time.Duration
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu         sync.Mutex
+	failures   []time.Time // recent failure instants, oldest first
+	tripped    bool
+	lastFail   time.Time
+	trips      int64
+	recoveries int64
+}
+
+func newBreaker(o BreakerOptions) *breaker {
+	if o.Threshold <= 0 {
+		o.Threshold = DefaultBreakerThreshold
+	}
+	if o.Window <= 0 {
+		o.Window = DefaultBreakerWindow
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: o.Threshold, window: o.Window, cooldown: o.Cooldown, now: time.Now}
+}
+
+// RecordFailures registers n failure events (n spill faults can surface in
+// one metrics poll) and trips the breaker when the windowed count reaches
+// the threshold.
+func (b *breaker) RecordFailures(n int64) {
+	if n <= 0 {
+		return
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Cap the burst at threshold: past tripping, more timestamps only cost
+	// memory.
+	if n > int64(b.threshold) {
+		n = int64(b.threshold)
+	}
+	for i := int64(0); i < n; i++ {
+		b.failures = append(b.failures, now)
+	}
+	b.lastFail = now
+	b.pruneLocked(now)
+	if !b.tripped && len(b.failures) >= b.threshold {
+		b.tripped = true
+		b.trips++
+	}
+}
+
+// pruneLocked drops failures older than the window. Caller holds b.mu.
+func (b *breaker) pruneLocked(now time.Time) {
+	cut := now.Add(-b.window)
+	i := 0
+	for i < len(b.failures) && b.failures[i].Before(cut) {
+		i++
+	}
+	if i > 0 {
+		b.failures = append(b.failures[:0], b.failures[i:]...)
+	}
+}
+
+// Degraded reports whether the breaker is tripped, performing time-based
+// recovery: tripped && now−lastFail ≥ cooldown → recovered.
+func (b *breaker) Degraded() bool {
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tripped && now.Sub(b.lastFail) >= b.cooldown {
+		b.tripped = false
+		b.recoveries++
+		b.failures = b.failures[:0]
+	}
+	return b.tripped
+}
+
+// Counts returns the lifetime trip and recovery counts (surfaced on
+// /healthz).
+func (b *breaker) Counts() (trips, recoveries int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.recoveries
+}
+
+// CooldownRemaining returns how long until the breaker would recover absent
+// further failures (0 when not tripped) — the honest Retry-After hint for a
+// degraded-mode rejection.
+func (b *breaker) CooldownRemaining() time.Duration {
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.tripped {
+		return 0
+	}
+	rem := b.cooldown - now.Sub(b.lastFail)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"waitfree/internal/engine"
+	"waitfree/internal/faultfs"
+)
+
+// chaosQueries is the soak's traffic mix: every /v1 endpoint, all parameters
+// inside the engine's validity bounds, spanning cheap and expensive, cached
+// and churned. Every response field is deterministic for a given query, so
+// byte-equality against a fault-free reference server is the correctness
+// oracle.
+var chaosQueries = []string{
+	"/v1/complex?n=1&b=1",
+	"/v1/complex?n=1&b=2",
+	"/v1/complex?n=1&b=3",
+	"/v1/complex?n=2&b=1",
+	"/v1/complex?n=2&b=2",
+	"/v1/solve?family=consensus&procs=2&maxb=1",
+	"/v1/solve?family=identity&procs=2&maxb=1",
+	"/v1/converge?n=1&target=1&maxk=2",
+	"/v1/adversary?algo=commitadopt&adversary=round-robin&seed=7&procs=3",
+	"/v1/adversary?algo=commitadopt&adversary=random&seed=9&procs=3&crash=2,-1,-1",
+}
+
+// chaosSeeds returns the fault-injector seeds to soak: CHAOS_SEED narrows
+// the matrix to one seed (the CI chaos job runs one seed per matrix entry),
+// otherwise all three acceptance seeds run.
+func chaosSeeds(t *testing.T) []int64 {
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+		}
+		return []int64{v}
+	}
+	return []int64{1, 2, 3}
+}
+
+// TestChaosSoak is the tentpole's acceptance test: a storage adversary
+// (seeded faultfs at rate 0.3) under concurrent mixed traffic, with a
+// hair-trigger breaker and cache-hits-only degraded mode. The invariants,
+// per seed:
+//
+//   - every 200 body is byte-identical to the fault-free reference server's
+//     answer for the same query — corruption becomes misses, never lies;
+//   - every non-200 is a clean typed 400/503, never a 500;
+//   - the breaker trips (spill faults → degraded) and, once the disk heals,
+//     recovers to "ok";
+//   - no goroutine leaks: the dedup layer drains and the count returns to
+//     baseline.
+//
+// Run it under -race; the CI chaos job does, one seed per matrix entry, and
+// uploads the fault schedule on failure (CHAOS_ARTIFACTS names the dir).
+func TestChaosSoak(t *testing.T) {
+	// Fault-free reference answers, computed once and shared across seeds.
+	refSrv := NewServer(engine.New(engine.Options{}), Options{})
+	refTS := httptest.NewServer(refSrv.Handler())
+	defer refTS.Close()
+	reference := make(map[string][]byte, len(chaosQueries))
+	for _, q := range chaosQueries {
+		resp, err := http.Get(refTS.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference %s: %d %s (%v)", q, resp.StatusCode, body, err)
+		}
+		reference[q] = body
+	}
+
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			ffs := faultfs.New(faultfs.OS{}, seed, 0.3)
+			if dir := os.Getenv("CHAOS_ARTIFACTS"); dir != "" {
+				// The schedule is a pure function of the seed; render it up
+				// front so a failed soak still leaves the artifact behind.
+				name := filepath.Join(dir, fmt.Sprintf("fault-schedule-seed%d.txt", seed))
+				if err := os.WriteFile(name, []byte(ffs.PlanString(512)), 0o644); err != nil {
+					t.Fatalf("writing fault schedule artifact: %v", err)
+				}
+			}
+			eng := engine.New(engine.Options{
+				CacheSize: 2, // constant eviction churn through the sick spill tier
+				SpillDir:  t.TempDir(),
+				SpillFS:   ffs,
+			})
+			s := NewServer(eng, Options{
+				MaxConcurrent:   8,
+				DegradedMaxCost: -1, // degraded mode = cache hits only
+				Breaker: BreakerOptions{
+					Threshold: 3,
+					Window:    time.Minute,
+					Cooldown:  300 * time.Millisecond,
+				},
+			})
+			ts := httptest.NewServer(s.Handler())
+			client := ts.Client()
+
+			const workers, rounds = 8, 40
+			var wg sync.WaitGroup
+			errs := make(chan error, workers*rounds)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						q := chaosQueries[(w*13+i)%len(chaosQueries)]
+						resp, err := client.Get(ts.URL + q)
+						if err != nil {
+							errs <- fmt.Errorf("%s: transport error: %v", q, err)
+							return
+						}
+						body, err := io.ReadAll(resp.Body)
+						resp.Body.Close()
+						if err != nil {
+							errs <- fmt.Errorf("%s: reading body: %v", q, err)
+							return
+						}
+						switch resp.StatusCode {
+						case http.StatusOK:
+							if string(body) != string(reference[q]) {
+								errs <- fmt.Errorf("%s: 200 body diverged from the fault-free reference:\n got: %s\nwant: %s", q, body, reference[q])
+								return
+							}
+						case http.StatusBadRequest, http.StatusServiceUnavailable:
+							var m map[string]any
+							if err := json.Unmarshal(body, &m); err != nil || m["error"] == "" {
+								errs <- fmt.Errorf("%s: %d body is not a typed JSON error: %s", q, resp.StatusCode, body)
+								return
+							}
+						default:
+							errs <- fmt.Errorf("%s: status %d (body %s) — only 200/400/503 are allowed under storage faults", q, resp.StatusCode, body)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			if t.Failed() {
+				t.Fatalf("soak violated invariants; fault schedule:\n%s", ffs.PlanString(64))
+			}
+
+			if ffs.Injected() == 0 {
+				t.Fatal("the adversary injected nothing; the soak proved nothing")
+			}
+			hz := getHealthz(t, client, ts.URL)
+			if hz["breaker_trips"].(float64) < 1 {
+				t.Fatalf("breaker never tripped under rate-0.3 storage faults: %v", hz)
+			}
+
+			// Heal the disk; with no new failures the breaker must recover
+			// within its cooldown and /healthz must read "ok" again.
+			ffs.SetEnabled(false)
+			recovered := false
+			for wait := time.Now().Add(5 * time.Second); time.Now().Before(wait); {
+				if hz = getHealthz(t, client, ts.URL); hz["status"] == "ok" {
+					recovered = true
+					break
+				}
+				time.Sleep(25 * time.Millisecond)
+			}
+			if !recovered {
+				t.Fatalf("breaker did not recover after the disk healed: %v", hz)
+			}
+			if hz["breaker_recoveries"].(float64) < 1 {
+				t.Fatalf("healthz should count the recovery: %v", hz)
+			}
+			// Recovered means serving: an expensive uncached query goes
+			// through again.
+			resp, err := client.Get(ts.URL + "/v1/complex?n=2&b=2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("post-recovery query got %d, want 200", resp.StatusCode)
+			}
+
+			// Leak check: close the server, then the dedup layer must drain
+			// and the goroutine count return to (near) the pre-soak baseline.
+			ts.Close()
+			client.CloseIdleConnections()
+			settled := false
+			for wait := time.Now().Add(5 * time.Second); time.Now().Before(wait); {
+				if !strings.Contains(goroutineStacks(), "flightGroup") &&
+					runtime.NumGoroutine() <= baseline+3 {
+					settled = true
+					break
+				}
+				time.Sleep(25 * time.Millisecond)
+			}
+			if !settled {
+				t.Fatalf("goroutines leaked: baseline=%d now=%d\n%s",
+					baseline, runtime.NumGoroutine(), goroutineStacks())
+			}
+		})
+	}
+}
+
+// getHealthz fetches and decodes /healthz.
+func getHealthz(t *testing.T, c *http.Client, base string) map[string]any {
+	t.Helper()
+	resp, err := c.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

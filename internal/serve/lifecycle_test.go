@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -159,6 +160,67 @@ func TestServerTimeoutReturns503(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// TestRetryAfterOn503 pins the Retry-After satellite: every 503 the server
+// emits — capacity rejections from the limiter AND deadline 503s written by
+// http.TimeoutHandler itself — carries a Retry-After header holding an
+// integer number of seconds in [1, 60], derived from queue depth × recent
+// p50. The timeout path is the load-bearing case: TimeoutHandler writes its
+// 503 after discarding the handler's buffered response, so the header can
+// only come from the wrapper outside it.
+func TestRetryAfterOn503(t *testing.T) {
+	checkRetryAfter := func(t *testing.T, resp *http.Response) {
+		t.Helper()
+		ra := resp.Header.Get("Retry-After")
+		sec, err := strconv.Atoi(ra)
+		if err != nil || sec < 1 || sec > 60 {
+			t.Fatalf("503 Retry-After = %q, want an integer in [1,60]", ra)
+		}
+	}
+
+	t.Run("capacity", func(t *testing.T) {
+		s, ts := newTestServer(t, engine.Options{}, Options{MaxConcurrent: 1, Timeout: 200 * time.Millisecond})
+		s.sem <- struct{}{} // occupy the only slot
+		defer func() { <-s.sem }()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("got %d, want 503", resp.StatusCode)
+		}
+		checkRetryAfter(t, resp)
+	})
+
+	t.Run("timeout", func(t *testing.T) {
+		_, ts := newTestServer(t, engine.Options{}, Options{Timeout: 150 * time.Millisecond})
+		resp, err := http.Get(ts.URL + expensivePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("got %d, want 503", resp.StatusCode)
+		}
+		checkRetryAfter(t, resp)
+	})
+
+	t.Run("success has none", func(t *testing.T) {
+		_, ts := newTestServer(t, engine.Options{}, Options{})
+		resp, err := http.Get(ts.URL + "/v1/complex?n=1&b=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("got %d, want 200", resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			t.Fatalf("200 must not carry Retry-After, got %q", ra)
+		}
+	})
 }
 
 // TestStatusForTaxonomy pins the error → status mapping directly.

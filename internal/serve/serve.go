@@ -24,12 +24,14 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"waitfree/internal/engine"
@@ -57,6 +59,17 @@ type Options struct {
 	EnablePprof bool
 	// TraceBuffer bounds the /debug/traces registry; 0 = obs default (256).
 	TraceBuffer int
+	// MaxCost is the admission budget in Lemma 3.3 facets: a query whose
+	// closed-form estimate exceeds it is rejected 400 with the estimate in
+	// the body, before a worker slot is committed. 0 = unlimited.
+	MaxCost int64
+	// DegradedMaxCost is the (much tighter) budget applied while the breaker
+	// is tripped: only cache hits and queries at or under it are served;
+	// everything else is rejected 503 + Retry-After. 0 = the default;
+	// negative = cache hits only.
+	DegradedMaxCost int64
+	// Breaker configures the failure-rate breaker behind degraded mode.
+	Breaker BreakerOptions
 }
 
 // DefaultMaxConcurrent is the default in-flight request bound.
@@ -65,15 +78,31 @@ const DefaultMaxConcurrent = 32
 // DefaultTimeout is the default per-request deadline.
 const DefaultTimeout = 30 * time.Second
 
+// DefaultDegradedMaxCost is the degraded-mode admission budget: generous
+// enough for every interactive-sized query (the (2,2) chain is 183 facets,
+// (2,3) is 2380), tight enough to shed the 400k-facet class that turns a
+// sick spill tier into a memory amplifier.
+const DefaultDegradedMaxCost = int64(100_000)
+
+// ErrDegraded marks queries shed in degraded mode: the breaker tripped on
+// spill faults or sustained 5xx, and this query is neither cached nor under
+// the degraded cost budget. Mapped to 503 + Retry-After — the query is fine,
+// the server is not; retry after the cooldown.
+var ErrDegraded = errors.New("serve: degraded mode, expensive uncached queries refused")
+
 // Server routes HTTP requests into an engine.
 type Server struct {
-	eng     *engine.Engine
-	sem     chan struct{}
-	timeout time.Duration
-	slow    time.Duration
-	logger  *slog.Logger
-	pprofOn bool
-	traces  *obs.Registry
+	eng      *engine.Engine
+	sem      chan struct{}
+	timeout  time.Duration
+	slow     time.Duration
+	logger   *slog.Logger
+	pprofOn  bool
+	traces   *obs.Registry
+	maxCost  int64
+	degCost  int64
+	breaker  *breaker
+	spillSum atomic.Int64 // last observed SpillFaults(), for delta polling
 }
 
 // NewServer builds a Server over eng.
@@ -90,6 +119,10 @@ func NewServer(eng *engine.Engine, o Options) *Server {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	degCost := o.DegradedMaxCost
+	if degCost == 0 {
+		degCost = DefaultDegradedMaxCost
+	}
 	return &Server{
 		eng:     eng,
 		sem:     make(chan struct{}, maxConc),
@@ -98,6 +131,9 @@ func NewServer(eng *engine.Engine, o Options) *Server {
 		logger:  logger,
 		pprofOn: o.EnablePprof,
 		traces:  obs.NewRegistry(o.TraceBuffer),
+		maxCost: o.MaxCost,
+		degCost: degCost,
+		breaker: newBreaker(o.Breaker),
 	}
 }
 
@@ -125,7 +161,52 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return http.TimeoutHandler(s.limit(mux), s.timeout, `{"error":"request timed out"}`)
+	inner := http.TimeoutHandler(s.limit(mux), s.timeout, `{"error":"request timed out"}`)
+	// The Retry-After wrapper sits OUTSIDE TimeoutHandler on purpose:
+	// TimeoutHandler buffers its child's response and writes its own 503
+	// directly to the writer it was given, so a header set from inside the
+	// handler would be discarded on the timeout path. Intercepting
+	// WriteHeader out here covers every 503 — capacity, deadline, and
+	// degraded-mode rejections — with one mechanism.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner.ServeHTTP(&retryAfterWriter{ResponseWriter: w, s: s}, r)
+	})
+}
+
+// retryAfterWriter injects a Retry-After header on every 503 passing
+// through, derived from live load (see retryAfterSeconds).
+type retryAfterWriter struct {
+	http.ResponseWriter
+	s *Server
+}
+
+func (w *retryAfterWriter) WriteHeader(code int) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(w.s.retryAfterSeconds()))
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// retryAfterSeconds estimates when a retry is worth attempting: the queue
+// ahead of the caller times the recent p50 service time, or the breaker's
+// remaining cooldown when degraded mode is what rejected the request —
+// whichever is later, clamped to [1, 60] seconds.
+func (s *Server) retryAfterSeconds() int {
+	m := s.eng.Metrics()
+	p50 := m.MaxQuantile("http_", 0.5) // milliseconds
+	sec := int(math.Ceil(float64(m.QueueDepth.Load()+1) * p50 / 1000))
+	if rem := s.breaker.CooldownRemaining(); rem > 0 {
+		if c := int(math.Ceil(rem.Seconds())); c > sec {
+			sec = c
+		}
+	}
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 // limit is the concurrency gate: a semaphore sized MaxConcurrent, with the
@@ -147,6 +228,10 @@ func (s *Server) limit(next http.Handler) http.Handler {
 			case <-t.C:
 				m.QueueDepth.Add(-1)
 				m.Rejected.Add(1)
+				// Capacity rejections are the "sustained 5xx" the breaker
+				// watches: a stampede that outlasts the grace period should
+				// push the server toward shedding expensive work too.
+				s.breaker.RecordFailures(1)
 				writeError(w, http.StatusServiceUnavailable, errors.New("server at capacity"))
 				return
 			case <-r.Context().Done():
@@ -175,18 +260,28 @@ func (s *Server) limit(next http.Handler) http.Handler {
 //     exact `wfrepro <cmd> -json ...` line that reproduces the query.
 func (s *Server) instrument(name string, w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, error)) {
 	m := s.eng.Metrics()
+	s.pollSpillFaults()
+	state := s.healthState()
 	tr := obs.NewTrace()
 	ctx := obs.WithTrace(r.Context(), tr)
 	ctx, root := obs.StartSpan(ctx, "http."+name)
 	w.Header().Set("X-Trace-Id", tr.ID)
 	m.Inc("requests_total_" + name)
+	m.Inc("requests_state_" + state)
 	start := time.Now()
 	v, err := fn(ctx)
 	elapsed := time.Since(start)
 	status := http.StatusOK
 	if err != nil {
 		status = statusFor(err)
+		// 5xx outcomes feed the breaker — except degraded-mode sheds, which
+		// are the breaker's own output; counting them would hold it tripped
+		// forever under retry traffic.
+		if status >= 500 && !errors.Is(err, ErrDegraded) {
+			s.breaker.RecordFailures(1)
+		}
 	}
+	root.SetStr("health_state", state)
 	root.SetInt("status", int64(status))
 	root.Finish()
 	s.traces.Record(tr)
@@ -215,6 +310,84 @@ func (s *Server) instrument(name string, w http.ResponseWriter, r *http.Request,
 		m.Inc("http_write_errors")
 	}
 }
+
+// pollSpillFaults feeds the spill tier's failure counters into the breaker
+// as deltas. Polling on the request path (rather than a background ticker)
+// means zero goroutines and a breaker that is exactly as fresh as it needs
+// to be: spill faults only matter when there is traffic to shed.
+func (s *Server) pollSpillFaults() {
+	cur := s.eng.Metrics().SpillFaults()
+	if prev := s.spillSum.Swap(cur); cur > prev {
+		s.breaker.RecordFailures(cur - prev)
+	}
+}
+
+// healthState is the server's one-word self-assessment, surfaced on
+// /healthz, as a span attribute, and as requests_state_* counters:
+//
+//	degraded   — the breaker tripped; only cache hits and cheap queries serve
+//	overloaded — callers are queued on the concurrency gate
+//	ok         — neither
+//
+// Degraded wins over overloaded: shedding is the stronger statement, and the
+// queue usually drains precisely because degraded mode is shedding.
+func (s *Server) healthState() string {
+	if s.breaker.Degraded() {
+		return "degraded"
+	}
+	if s.eng.Metrics().QueueDepth.Load() > 0 {
+		return "overloaded"
+	}
+	return "ok"
+}
+
+// costedRequest is what admission needs from a request: its closed-form
+// Lemma 3.3 estimate and its cache key. All four engine request types
+// satisfy it.
+type costedRequest interface {
+	EstimateCost() (int64, error)
+	Key() string
+}
+
+// admit is the cost-aware admission gate, run after parsing and before any
+// engine work:
+//
+//  1. Estimate the query's cost from the Lemma 3.3 facet recurrence
+//     (closed form — microseconds, no subdivision built).
+//  2. Over MaxCost → 400 ErrOverBudget with the estimate in the body: the
+//     query will never fit, resize it instead of retrying.
+//  3. In degraded mode, over DegradedMaxCost and not already cached →
+//     503 ErrDegraded + Retry-After: the query is fine, come back later.
+//
+// Cached answers always serve: a hit costs no facets regardless of what the
+// estimate says the query would cost to compute.
+func (s *Server) admit(req costedRequest) error {
+	cost, err := req.EstimateCost()
+	if err != nil {
+		return err
+	}
+	if s.maxCost > 0 && cost > s.maxCost {
+		return &costError{estimated: cost, budget: s.maxCost, err: engine.ErrOverBudget}
+	}
+	if cost > s.degCost && s.breaker.Degraded() && !s.eng.HasCached(req.Key()) {
+		return &costError{estimated: cost, budget: s.degCost, err: ErrDegraded}
+	}
+	return nil
+}
+
+// costError carries the admission verdict's numbers so writeError can put
+// machine-readable estimated_cost / max_cost fields in the response body.
+// It wraps engine.ErrOverBudget or ErrDegraded for errors.Is classification.
+type costError struct {
+	estimated, budget int64
+	err               error
+}
+
+func (e *costError) Error() string {
+	return fmt.Sprintf("%v: estimated cost %d facets exceeds budget %d", e.err, e.estimated, e.budget)
+}
+
+func (e *costError) Unwrap() error { return e.err }
 
 // reproCommand renders the wfrepro CLI line that replays an HTTP query
 // offline: the -json subcommands share the engine (and encoder) with the
@@ -256,6 +429,8 @@ const StatusClientClosedRequest = 499
 // errors.Is — no message matching:
 //
 //	engine.ErrInvalid                → 400 (the request was never attempted)
+//	engine.ErrOverBudget             → 400 (admission: the query will never fit)
+//	ErrDegraded                      → 503 (admission: the server is sick; retry)
 //	context.DeadlineExceeded         → 503 (the server's deadline expired)
 //	engine.ErrCanceled / Canceled    → 499 (the client went away)
 //	solver.ErrBudget                 → 503 (no verdict within the node budget)
@@ -268,6 +443,10 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, engine.ErrInvalid):
 		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrOverBudget):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrDegraded):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, engine.ErrCanceled), errors.Is(err, context.Canceled):
@@ -282,13 +461,25 @@ func statusFor(err error) int {
 func writeError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	engine.WriteJSON(w, map[string]string{"error": err.Error()})
+	body := map[string]any{"error": err.Error()}
+	var ce *costError
+	if errors.As(err, &ce) {
+		// Machine-readable admission verdict: the client can resize the
+		// query (ErrOverBudget) or back off (ErrDegraded) without parsing
+		// the message.
+		body["estimated_cost"] = ce.estimated
+		body["max_cost"] = ce.budget
+	}
+	engine.WriteJSON(w, body)
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.instrument("solve", w, r, func(ctx context.Context) (any, error) {
 		req, err := parseSolve(r)
 		if err != nil {
+			return nil, err
+		}
+		if err := s.admit(req); err != nil {
 			return nil, err
 		}
 		return s.eng.Solve(ctx, req)
@@ -305,7 +496,11 @@ func (s *Server) handleComplex(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return s.eng.ComplexInfo(ctx, engine.ComplexRequest{N: n, B: b})
+		req := engine.ComplexRequest{N: n, B: b}
+		if err := s.admit(req); err != nil {
+			return nil, err
+		}
+		return s.eng.ComplexInfo(ctx, req)
 	})
 }
 
@@ -323,7 +518,11 @@ func (s *Server) handleConverge(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return s.eng.Converge(ctx, engine.ConvergeRequest{N: n, Target: target, MaxK: maxk})
+		req := engine.ConvergeRequest{N: n, Target: target, MaxK: maxk}
+		if err := s.admit(req); err != nil {
+			return nil, err
+		}
+		return s.eng.Converge(ctx, req)
 	})
 }
 
@@ -331,6 +530,9 @@ func (s *Server) handleAdversary(w http.ResponseWriter, r *http.Request) {
 	s.instrument("adversary", w, r, func(ctx context.Context) (any, error) {
 		req, err := parseAdversary(r)
 		if err != nil {
+			return nil, err
+		}
+		if err := s.admit(req); err != nil {
 			return nil, err
 		}
 		return s.eng.Adversary(ctx, req)
@@ -354,8 +556,18 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.pollSpillFaults() // health probes see spill faults even with no traffic
+	state := s.healthState()
+	// Counts after healthState: the state check is where time-based recovery
+	// happens, so a probe that reads "ok" also sees the recovery counted.
+	trips, recoveries := s.breaker.Counts()
 	w.Header().Set("Content-Type", "application/json")
-	engine.WriteJSON(w, map[string]any{"status": "ok", "cache_entries": s.eng.CacheLen()})
+	engine.WriteJSON(w, map[string]any{
+		"status":             state,
+		"cache_entries":      s.eng.CacheLen(),
+		"breaker_trips":      trips,
+		"breaker_recoveries": recoveries,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

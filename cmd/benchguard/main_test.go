@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// eventStream builds a `go test -json` stream with a benchmark result line
+// deliberately split across two Output events — the shape that broke naive
+// per-line parsing and the reason parseFile reassembles per-package text.
+const eventStream = `{"Action":"start","Package":"waitfree/internal/topology"}
+{"Action":"output","Package":"waitfree/internal/topology","Output":"pkg: waitfree/internal/topology\n"}
+{"Action":"output","Package":"waitfree/internal/topology","Output":"BenchmarkSDSPowSequential\n"}
+{"Action":"output","Package":"waitfree/internal/topology","Output":"BenchmarkSDSPowSequential-4   \t"}
+{"Action":"output","Package":"waitfree/internal/topology","Output":"      10\t   1976361 ns/op\t  772538 B/op\t    3916 allocs/op\n"}
+{"Action":"output","Package":"waitfree/internal/engine","Output":"pkg: waitfree/internal/engine\n"}
+{"Action":"output","Package":"waitfree/internal/engine","Output":"BenchmarkEngineSolveWarm-4   \t     100\t     52000 ns/op\n"}
+{"Action":"pass","Package":"waitfree/internal/engine"}
+`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseEventStreamReassemblesSplitLines(t *testing.T) {
+	got, err := parseFile(write(t, "cur.json", eventStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["waitfree/internal/topology:BenchmarkSDSPowSequential"]
+	if !ok {
+		t.Fatalf("split benchmark line not reassembled; parsed keys: %v", keys(got))
+	}
+	if r.NsPerOp != 1976361 || !r.HasAllocs || r.AllocsPerOp != 3916 {
+		t.Fatalf("wrong result: %+v", r)
+	}
+	e, ok := got["waitfree/internal/engine:BenchmarkEngineSolveWarm"]
+	if !ok || e.NsPerOp != 52000 || e.HasAllocs {
+		t.Fatalf("engine result wrong: %+v (ok=%v)", e, ok)
+	}
+}
+
+func TestParsePlainBenchOutput(t *testing.T) {
+	plain := "goos: linux\npkg: waitfree/internal/topology\nBenchmarkSDSPowParallel-8   \t10\t1745105 ns/op\t772588 B/op\t3919 allocs/op\n"
+	got, err := parseFile(write(t, "plain.txt", plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["waitfree/internal/topology:BenchmarkSDSPowParallel"]
+	if !ok || r.AllocsPerOp != 3919 {
+		t.Fatalf("plain parse wrong: %+v (ok=%v)", r, ok)
+	}
+}
+
+func TestGateNsPerOpRegression(t *testing.T) {
+	base := write(t, "base.txt", "pkg: p\nBenchmarkX-4 10 1000 ns/op\n")
+	cur := write(t, "cur.txt", "pkg: p\nBenchmarkX-4 10 1200 ns/op\n")
+	var out strings.Builder
+	failed, err := run(base, cur, 0.10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("20%% slowdown passed a 10%% gate; report:\n%s", out.String())
+	}
+	// Within tolerance passes.
+	cur2 := write(t, "cur2.txt", "pkg: p\nBenchmarkX-4 10 1090 ns/op\n")
+	out.Reset()
+	if failed, err = run(base, cur2, 0.10, &out); err != nil || failed {
+		t.Fatalf("9%% slowdown failed a 10%% gate (err=%v):\n%s", err, out.String())
+	}
+}
+
+func TestGateAllocRegressionIsExact(t *testing.T) {
+	base := write(t, "base.txt", "pkg: p\nBenchmarkX-4 10 1000 ns/op 500 B/op 40 allocs/op\n")
+	cur := write(t, "cur.txt", "pkg: p\nBenchmarkX-4 10 1000 ns/op 500 B/op 41 allocs/op\n")
+	var out strings.Builder
+	failed, err := run(base, cur, 0.10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("+1 allocs/op passed the gate; report:\n%s", out.String())
+	}
+}
+
+func TestMissingBaselineBenchmarkIsSkipped(t *testing.T) {
+	base := write(t, "base.txt", "pkg: p\nBenchmarkX-4 10 1000 ns/op\n")
+	cur := write(t, "cur.txt", "pkg: p\nBenchmarkX-4 10 1000 ns/op\nBenchmarkNew-4 10 99999999 ns/op\n")
+	var out strings.Builder
+	failed, err := run(base, cur, 0.10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("new benchmark with no baseline failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "SKIP p:BenchmarkNew") {
+		t.Fatalf("missing-baseline skip not reported:\n%s", out.String())
+	}
+}
+
+func TestEmptyCurrentIsAnError(t *testing.T) {
+	base := write(t, "base.txt", "pkg: p\nBenchmarkX-4 10 1000 ns/op\n")
+	cur := write(t, "cur.txt", "no benchmarks here\n")
+	var out strings.Builder
+	if _, err := run(base, cur, 0.10, &out); err == nil {
+		t.Fatal("empty current run must error, not silently pass")
+	}
+}
+
+// TestCommittedBaselineParses pins that the repo's committed baseline stays
+// consumable by benchguard — the CI job depends on it.
+func TestCommittedBaselineParses(t *testing.T) {
+	for _, rel := range []string{"../../BENCH_engine.json"} {
+		got, err := parseFile(rel)
+		if err != nil {
+			t.Fatalf("%s: %v", rel, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("%s: no benchmark results parsed", rel)
+		}
+	}
+}
+
+func keys(m map[string]benchResult) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

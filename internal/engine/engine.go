@@ -274,7 +274,7 @@ func (e *Engine) computeSolve(ctx context.Context, req SolveRequest) (*SolveResp
 		maxNodes = e.maxNodes
 	}
 	opts := solver.Options{MaxNodes: maxNodes, Workers: e.workers}
-	baseHash := hashString(task.Inputs.CanonicalString())
+	baseHash := task.Inputs.CanonicalHash()
 	var last *solver.Result
 	for b := 0; b <= req.MaxLevel; b++ {
 		sub, err := e.sdsLevel(ctx, task.Inputs, baseHash, b)
@@ -325,7 +325,7 @@ func (e *Engine) ComplexInfo(ctx context.Context, req ComplexRequest) (*ComplexR
 	}
 	v, err := e.do(ctx, "complex", req.Key(), true, func(cctx context.Context) (any, error) {
 		base := topology.Simplex(req.N)
-		sub, err := e.sdsLevel(cctx, base, hashString(base.CanonicalString()), req.B)
+		sub, err := e.sdsLevel(cctx, base, base.CanonicalHash(), req.B)
 		if err != nil {
 			return nil, err
 		}
@@ -338,7 +338,7 @@ func (e *Engine) ComplexInfo(ctx context.Context, req ComplexRequest) (*ComplexR
 			Euler:     sub.EulerCharacteristic(),
 			Chromatic: sub.IsChromatic(),
 			Pure:      sub.IsPure(),
-			Hash:      hashString(sub.CanonicalString()),
+			Hash:      sub.CanonicalHash(),
 		}, nil
 	})
 	if err != nil {
@@ -361,7 +361,7 @@ func (e *Engine) Converge(ctx context.Context, req ConvergeRequest) (*ConvergeRe
 	}
 	v, err := e.do(ctx, "converge", req.Key(), true, func(cctx context.Context) (any, error) {
 		base := topology.Simplex(req.N)
-		a, err := e.sdsLevel(cctx, base, hashString(base.CanonicalString()), req.Target)
+		a, err := e.sdsLevel(cctx, base, base.CanonicalHash(), req.Target)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,124 @@
+// Package solver_test (external) so the harness can import internal/engine
+// — which itself imports solver — without a cycle: the differential below
+// round-trips arena-built subdivisions through the engine's DTO codec (an
+// explicit, string-keyed reconstruction) and requires the search to be
+// bit-identical on both representations.
+package solver_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"waitfree/internal/engine"
+	"waitfree/internal/solver"
+	"waitfree/internal/tasks"
+	"waitfree/internal/topology"
+)
+
+// TestE6VerdictTable pins the full EXPERIMENTS.md E6 verdict table: each
+// task's solvability verdict and level must come out exactly as the theory
+// demands, on the arena-backed subdivision path. Any representation bug
+// that changes carriers, colors, or the facet structure flips one of these
+// verdicts.
+func TestE6VerdictTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		task     *tasks.Task
+		maxLevel int
+		solvable bool
+		level    int // checked only when solvable
+	}{
+		{"identity-3p", tasks.IdentityTask(3), 0, true, 0},
+		{"set-consensus-3-3", tasks.SetConsensus(3, 3), 0, true, 0},
+		{"renaming-2p-M3", tasks.Renaming(2, 3), 0, true, 0},
+		{"approx-agreement-1/2", tasks.ApproxAgreement(2), 2, true, 1},
+		{"approx-agreement-1/4", tasks.ApproxAgreement(4), 2, true, 2},
+		{"binary-consensus-2p", tasks.Consensus(2), 3, false, 0},
+		{"binary-consensus-3p", tasks.Consensus(3), 1, false, 0},
+		{"set-consensus-3-2", tasks.SetConsensus(3, 2), 1, false, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := solver.SolveUpTo(tc.task, tc.maxLevel, solver.Options{})
+			if err != nil {
+				t.Fatalf("SolveUpTo: %v", err)
+			}
+			if res.Solvable != tc.solvable {
+				t.Fatalf("solvable = %v, want %v", res.Solvable, tc.solvable)
+			}
+			if tc.solvable {
+				if res.Level != tc.level {
+					t.Errorf("solved at level %d, want %d", res.Level, tc.level)
+				}
+				if err := solver.VerifyDecisionMap(tc.task, res); err != nil {
+					t.Errorf("VerifyDecisionMap: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestSolverDifferentialDTORoundTrip runs the same search twice — once on
+// the arena-built SDS^b(I), once on that complex rehydrated through the
+// engine's JSON DTO codec (which reconstructs it through the explicit
+// string-keyed path) — and requires identical verdicts AND identical node
+// counts. Equal node counts mean the two representations present the exact
+// same vertex order, domains, and simplex structure to the backtracking
+// search, not merely isomorphic ones.
+func TestSolverDifferentialDTORoundTrip(t *testing.T) {
+	cases := []struct {
+		task *tasks.Task
+		b    int
+	}{
+		{tasks.Consensus(2), 1},
+		{tasks.Consensus(2), 2},
+		{tasks.ApproxAgreement(2), 1},
+		{tasks.ApproxAgreement(4), 2},
+		{tasks.SetConsensus(3, 2), 1},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/b=%d", tc.task.Name, tc.b), func(t *testing.T) {
+			sub := topology.SDSPow(tc.task.Inputs, tc.b)
+
+			data, err := engine.EncodeComplexJSON(sub)
+			if err != nil {
+				t.Fatalf("EncodeComplexJSON: %v", err)
+			}
+			rehydrated, err := engine.DecodeComplexJSON(data)
+			if err != nil {
+				t.Fatalf("DecodeComplexJSON: %v", err)
+			}
+			if sub.CanonicalString() != rehydrated.CanonicalString() {
+				t.Fatal("DTO round-trip changed the canonical encoding")
+			}
+
+			arena, err := solver.SolveAtLevelOn(ctx, tc.task, tc.b, sub, solver.Options{})
+			if err != nil {
+				t.Fatalf("SolveAtLevelOn(arena): %v", err)
+			}
+			explicit, err := solver.SolveAtLevelOn(ctx, tc.task, tc.b, rehydrated, solver.Options{})
+			if err != nil {
+				t.Fatalf("SolveAtLevelOn(rehydrated): %v", err)
+			}
+			if arena.Solvable != explicit.Solvable {
+				t.Fatalf("verdicts differ: arena %v, rehydrated %v", arena.Solvable, explicit.Solvable)
+			}
+			if arena.Nodes != explicit.Nodes {
+				t.Fatalf("node counts differ: arena %d, rehydrated %d — representations not search-identical",
+					arena.Nodes, explicit.Nodes)
+			}
+			if arena.Solvable {
+				if err := solver.VerifyDecisionMap(tc.task, arena); err != nil {
+					t.Errorf("VerifyDecisionMap(arena): %v", err)
+				}
+				if err := solver.VerifyDecisionMap(tc.task, explicit); err != nil {
+					t.Errorf("VerifyDecisionMap(rehydrated): %v", err)
+				}
+			}
+		})
+	}
+}

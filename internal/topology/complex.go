@@ -2,8 +2,10 @@ package topology
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Vertex is an index into a Complex's vertex table. Vertices are meaningful
@@ -14,7 +16,9 @@ type Vertex int
 // barycentric subdivisions.
 const Uncolored = -1
 
-// vertexAttr holds the per-vertex data of a complex.
+// vertexAttr holds the per-vertex data of a complex. In arena-built
+// complexes (subdivisions produced by SDS/Bsd) the key is materialized
+// lazily from provenance; until then it is empty.
 type vertexAttr struct {
 	key     string   // canonical identity, unique within the complex
 	color   int      // chromatic color (process id), or Uncolored
@@ -25,15 +29,29 @@ type vertexAttr struct {
 // maximal simplices (facets). The simplices of the complex are all non-empty
 // subsets of facets. A Complex may additionally be a subdivision of a base
 // complex, in which case every vertex carries its carrier face in the base.
+//
+// Complexes come in two construction modes. Explicit complexes are built
+// through AddVertex/AddSimplex and carry their string keys eagerly (byKey is
+// maintained during construction). Arena complexes are built internally by
+// the subdivision operators: their vertices are interned by integer identity
+// (DESIGN.md §12), and string keys plus the byKey index are materialized on
+// first use at the canonical-encoding / key-lookup boundary, never on the
+// subdivision hot path.
 type Complex struct {
 	verts  []vertexAttr
-	byKey  map[string]Vertex
-	facets [][]Vertex // each sorted ascending; mutually non-contained
-	base   *Complex   // non-nil iff this complex is a subdivision
+	byKey  map[string]Vertex // nil for arena complexes until materialized
+	facets [][]Vertex        // each sorted ascending; mutually non-contained
+	base   *Complex          // non-nil iff this complex is a subdivision
 
 	// incidence[v] lists indices into facets containing v; built by seal.
 	incidence [][]int
 	sealed    bool
+
+	// prov is non-nil exactly for arena complexes; it records how each
+	// vertex was derived so keys can be rebuilt on demand.
+	prov    *provenance
+	keyOnce sync.Once
+	mapOnce sync.Once
 }
 
 // NewComplex returns an empty complex under construction. Add vertices and
@@ -86,7 +104,7 @@ func (c *Complex) MustAddVertex(key string, color int) Vertex {
 // The slice is copied and sorted.
 func (c *Complex) SetCarrier(v Vertex, carrier []Vertex) {
 	cp := append([]Vertex(nil), carrier...)
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	slices.Sort(cp)
 	c.verts[v].carrier = cp
 }
 
@@ -97,7 +115,7 @@ func (c *Complex) AddSimplex(vs ...Vertex) error {
 		return fmt.Errorf("topology: AddSimplex on sealed complex")
 	}
 	s := append([]Vertex(nil), vs...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	for i, v := range s {
 		if int(v) < 0 || int(v) >= len(c.verts) {
 			return fmt.Errorf("topology: simplex references unknown vertex %d", v)
@@ -125,28 +143,18 @@ func (c *Complex) Seal() *Complex {
 	if c.sealed {
 		return c
 	}
-	// Deduplicate.
-	seen := make(map[string]struct{}, len(c.facets))
-	uniq := c.facets[:0]
-	for _, f := range c.facets {
-		k := simplexKey(f)
-		if _, ok := seen[k]; ok {
+	// Sort by descending size, then by the decimal-string order of the
+	// vertex lists (cmpFacetOrder reproduces the historical comma-joined
+	// string comparison without building the strings). Duplicates land
+	// adjacent, so deduplication is a linear scan, and a containment check
+	// against already-retained facets absorbs proper faces.
+	sort.Slice(c.facets, func(i, j int) bool { return cmpFacetOrder(c.facets[i], c.facets[j]) < 0 })
+	inc := make([][]int, len(c.verts))
+	kept := c.facets[:0]
+	for i, f := range c.facets {
+		if i > 0 && cmpFacetOrder(c.facets[i-1], f) == 0 {
 			continue
 		}
-		seen[k] = struct{}{}
-		uniq = append(uniq, f)
-	}
-	// Drop facets contained in a larger facet. Sort by descending size so a
-	// containment check against retained facets suffices.
-	sort.Slice(uniq, func(i, j int) bool {
-		if len(uniq[i]) != len(uniq[j]) {
-			return len(uniq[i]) > len(uniq[j])
-		}
-		return simplexKey(uniq[i]) < simplexKey(uniq[j])
-	})
-	inc := make([][]int, len(c.verts))
-	var kept [][]Vertex
-	for _, f := range uniq {
 		if len(kept) > 0 && containedInAny(f, inc, kept) {
 			continue
 		}
@@ -157,6 +165,46 @@ func (c *Complex) Seal() *Complex {
 		}
 	}
 	c.facets = kept
+	c.incidence = inc
+	c.sealed = true
+	return c
+}
+
+// sealTrusted finalizes a builder-produced complex whose facets are known to
+// be pairwise distinct and maximal (SDS and Bsd guarantee both: a facet's
+// ordered partition / permutation chain is recoverable from its vertex set,
+// and a subdivision facet of base facet t always contains a vertex whose
+// face is all of t, so it cannot sit inside the subdivision of another
+// facet). Skips deduplication and containment, sorts in the same order as
+// Seal, and builds the incidence index with a single pre-counted backing
+// array.
+func (c *Complex) sealTrusted() *Complex {
+	if c.sealed {
+		return c
+	}
+	sort.Slice(c.facets, func(i, j int) bool { return cmpFacetOrder(c.facets[i], c.facets[j]) < 0 })
+	counts := make([]int32, len(c.verts))
+	total := 0
+	for _, f := range c.facets {
+		total += len(f)
+		for _, v := range f {
+			counts[v]++
+		}
+	}
+	backing := make([]int, total)
+	inc := make([][]int, len(c.verts))
+	off := 0
+	for v := range inc {
+		n := int(counts[v])
+		inc[v] = backing[off:off : off+n]
+		off += n
+	}
+	for i, f := range c.facets {
+		for _, v := range f {
+			inc[v] = append(inc[v], i)
+		}
+	}
+	c.facets = c.facets[:len(c.facets):len(c.facets)]
 	c.incidence = inc
 	c.sealed = true
 	return c
@@ -193,14 +241,19 @@ func isSubset(a, b []Vertex) bool {
 // NumVertices returns the number of vertices.
 func (c *Complex) NumVertices() int { return len(c.verts) }
 
-// Key returns the canonical key of v.
-func (c *Complex) Key(v Vertex) string { return c.verts[v].key }
+// Key returns the canonical key of v. For arena complexes the key table is
+// materialized (once, concurrency-safe) on first use.
+func (c *Complex) Key(v Vertex) string {
+	c.ensureKeys()
+	return c.verts[v].key
+}
 
 // Color returns the color of v (Uncolored for non-chromatic complexes).
 func (c *Complex) Color(v Vertex) int { return c.verts[v].color }
 
 // VertexByKey returns the vertex with the given key.
 func (c *Complex) VertexByKey(key string) (Vertex, bool) {
+	c.ensureByKey()
 	v, ok := c.byKey[key]
 	return v, ok
 }
@@ -222,18 +275,12 @@ func (c *Complex) Carrier(v Vertex) []Vertex {
 // carriers of its vertices, which for a subdivision is the smallest base face
 // containing the simplex.
 func (c *Complex) CarrierOfSimplex(s []Vertex) []Vertex {
-	set := make(map[Vertex]struct{})
+	var scratch []Vertex
 	for _, v := range s {
-		for _, b := range c.Carrier(v) {
-			set[b] = struct{}{}
-		}
+		scratch = append(scratch, c.Carrier(v)...)
 	}
-	out := make([]Vertex, 0, len(set))
-	for b := range set {
-		out = append(out, b)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(scratch)
+	return slices.Compact(scratch)
 }
 
 // Facets returns the maximal simplices. The returned slices are shared; do
@@ -297,8 +344,7 @@ func (c *Complex) HasSimplex(vs []Vertex) bool {
 	if len(vs) == 0 {
 		return false
 	}
-	s := append([]Vertex(nil), vs...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	s := sortedCopy(vs)
 	for i := 1; i < len(s); i++ {
 		if s[i] == s[i-1] {
 			return false
@@ -316,15 +362,19 @@ func (c *Complex) AllSimplices() [][][]Vertex {
 	if dim < 0 {
 		return nil
 	}
+	// Dedup across facets by the packed binary encoding of the vertex list:
+	// the map lookup on string(buf) does not allocate, and only distinct
+	// simplices pay for an inserted key.
 	seen := make(map[string]struct{})
 	byDim := make([][][]Vertex, dim+1)
+	buf := make([]byte, 0, 64)
 	for _, f := range c.facets {
 		forEachSubset(f, func(sub []Vertex) {
-			k := simplexKey(sub)
-			if _, ok := seen[k]; ok {
+			buf = encodeVerts(buf[:0], sub)
+			if _, ok := seen[string(buf)]; ok {
 				return
 			}
-			seen[k] = struct{}{}
+			seen[string(buf)] = struct{}{}
 			cp := append([]Vertex(nil), sub...)
 			byDim[len(cp)-1] = append(byDim[len(cp)-1], cp)
 		})
@@ -391,6 +441,7 @@ func (c *Complex) Colors() []int {
 // inherited; the link is not a subdivision (no carriers).
 func (c *Complex) Link(s []Vertex) *Complex {
 	c.mustBeSealed("Link")
+	c.ensureKeys()
 	in := make(map[Vertex]struct{}, len(s))
 	for _, v := range s {
 		in[v] = struct{}{}
@@ -470,6 +521,8 @@ func (c *Complex) IsConnected() bool {
 func (c *Complex) Equal(o *Complex) bool {
 	c.mustBeSealed("Equal")
 	o.mustBeSealed("Equal")
+	c.ensureByKey()
+	o.ensureByKey()
 	if len(c.verts) != len(o.verts) || len(c.facets) != len(o.facets) {
 		return false
 	}
@@ -492,7 +545,8 @@ func (c *Complex) Equal(o *Complex) bool {
 	return true
 }
 
-// facetKeyString canonically encodes a facet by its vertex keys.
+// facetKeyString canonically encodes a facet by its vertex keys. The caller
+// must have materialized keys (ensureKeys).
 func (c *Complex) facetKeyString(f []Vertex) string {
 	keys := make([]string, len(f))
 	for i, v := range f {
@@ -532,7 +586,7 @@ func simplexLess(a, b []Vertex) bool {
 
 func sortedCopy(s []Vertex) []Vertex {
 	cp := append([]Vertex(nil), s...)
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	slices.Sort(cp)
 	return cp
 }
 

@@ -1,6 +1,9 @@
 package topology
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,43 +20,132 @@ import (
 func (c *Complex) CanonicalString() string {
 	c.mustBeSealed("CanonicalString")
 	var b strings.Builder
+	c.writeCanonical(&b)
+	return b.String()
+}
+
+// CanonicalHash returns the hex SHA-256 of CanonicalString without
+// materializing the string: the canonical byte stream is fed to the hash
+// incrementally, so content-addressing a (3,3)-level subdivision does not
+// hold its multi-hundred-megabyte encoding in memory. By construction
+// CanonicalHash(c) == hex(sha256(CanonicalString(c))).
+func (c *Complex) CanonicalHash() string {
+	c.mustBeSealed("CanonicalHash")
+	h := sha256.New()
+	c.writeCanonical(h)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCanonical streams the canonical encoding to w. It materializes
+// vertex keys (lazily, via ensureKeys) but never the per-facet joined key
+// strings: facets are ordered by a virtual byte-walk over their sorted key
+// tuples (cmpKeyTuples), which reproduces the byte order of sorting the
+// materialized "key\x1fkey…" strings exactly.
+func (c *Complex) writeCanonical(w io.Writer) {
+	c.ensureKeys()
 	if c.base != nil {
-		b.WriteString("base{")
-		b.WriteString(c.base.CanonicalString())
-		b.WriteString("}\n")
+		ws(w, "base{")
+		c.base.writeCanonical(w)
+		ws(w, "}\n")
 	}
+	c.ensureByKey()
 	keys := make([]string, len(c.verts))
-	for i, a := range c.verts {
-		keys[i] = a.key
+	for i := range c.verts {
+		keys[i] = c.verts[i].key
 	}
 	sort.Strings(keys)
-	b.WriteString("verts{")
+	ws(w, "verts{")
+	var num [24]byte
 	for i, k := range keys {
 		if i > 0 {
-			b.WriteByte(';')
+			ws(w, ";")
 		}
 		v := c.byKey[k]
-		b.WriteString(k)
-		b.WriteByte('|')
-		b.WriteString(strconv.Itoa(c.verts[v].color))
+		ws(w, k)
+		ws(w, "|")
+		w.Write(strconv.AppendInt(num[:0], int64(c.verts[v].color), 10))
 		if c.base != nil {
-			b.WriteString("|[")
+			ws(w, "|[")
 			ck := make([]string, len(c.verts[v].carrier))
-			for j, w := range c.verts[v].carrier {
-				ck[j] = c.base.verts[w].key
+			for j, b := range c.verts[v].carrier {
+				ck[j] = c.base.verts[b].key
 			}
 			sort.Strings(ck)
-			b.WriteString(strings.Join(ck, " "))
-			b.WriteByte(']')
+			ws(w, strings.Join(ck, " "))
+			ws(w, "]")
 		}
 	}
-	b.WriteString("}\nfacets{")
-	fk := make([]string, len(c.facets))
+	ws(w, "}\nfacets{")
+	// Sorted key tuple per facet, then facets ordered by the joined-string
+	// byte order of those tuples.
+	tuples := make([][]string, len(c.facets))
 	for i, f := range c.facets {
-		fk[i] = c.facetKeyString(f)
+		t := make([]string, len(f))
+		for j, v := range f {
+			t[j] = c.verts[v].key
+		}
+		sort.Strings(t)
+		tuples[i] = t
 	}
-	sort.Strings(fk)
-	b.WriteString(strings.Join(fk, ";"))
-	b.WriteString("}")
-	return b.String()
+	sort.Slice(tuples, func(i, j int) bool { return cmpKeyTuples(tuples[i], tuples[j]) < 0 })
+	for i, t := range tuples {
+		if i > 0 {
+			ws(w, ";")
+		}
+		for j, k := range t {
+			if j > 0 {
+				ws(w, "\x1f")
+			}
+			ws(w, k)
+		}
+	}
+	ws(w, "}")
+}
+
+// ws writes a string, ignoring errors (strings.Builder and hash.Hash never
+// fail).
+func ws(w io.Writer, s string) { io.WriteString(w, s) }
+
+// cmpKeyTuples compares two key tuples exactly as the strings
+// strings.Join(a, "\x1f") and strings.Join(b, "\x1f") would compare, byte
+// by byte, without building them.
+func cmpKeyTuples(a, b []string) int {
+	ai, ao, bi, bo := 0, 0, 0, 0
+	for {
+		ca, aok := tupleByte(a, &ai, &ao)
+		cb, bok := tupleByte(b, &bi, &bo)
+		switch {
+		case !aok && !bok:
+			return 0
+		case !aok:
+			return -1
+		case !bok:
+			return 1
+		}
+		if ca != cb {
+			if ca < cb {
+				return -1
+			}
+			return 1
+		}
+	}
+}
+
+// tupleByte yields the next byte of the virtual string
+// ks[0] + "\x1f" + ks[1] + …, advancing the (token, offset) cursor.
+func tupleByte(ks []string, i, o *int) (byte, bool) {
+	for *i < len(ks) {
+		s := ks[*i]
+		if *o < len(s) {
+			b := s[*o]
+			*o++
+			return b, true
+		}
+		*i++
+		*o = 0
+		if *i < len(ks) {
+			return 0x1f, true
+		}
+	}
+	return 0, false
 }

@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+// hashCanonicalOracle is the definitional spec of CanonicalHash: hash the
+// fully materialized canonical string.
+func hashCanonicalOracle(c *Complex) string {
+	sum := sha256.Sum256([]byte(c.CanonicalString()))
+	return hex.EncodeToString(sum[:])
+}
+
+// FuzzVertexIntern drives the vertex intern table with adversarial key
+// sequences — including deliberate collisions from a 4-letter alphabet —
+// and checks the interning contract (idempotent re-adds, color mismatches
+// rejected, Key/VertexByKey round-trip, colors preserved), then runs the
+// complex through both subdivision paths and requires identical canonical
+// encodings. This is the differential harness's adversarial front end: the
+// corpus explores key shapes (shared prefixes, repeats, single chars) that
+// the structured generators never produce.
+func FuzzVertexIntern(f *testing.F) {
+	f.Add([]byte("abc"))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte("aaabbbccc"))
+	f.Add([]byte{255, 0, 128, 7, 7, 7, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte("collision collision collision"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		c := NewComplex()
+		seen := make(map[string]Vertex)
+		colors := make(map[string]int)
+		var verts []Vertex
+		for i := 0; i+2 < len(data) && len(seen) < 8; i += 3 {
+			key := string([]byte{'a' + data[i]%4, 'a' + data[i+1]%4})
+			color := int(data[i+2] % 3)
+			v, err := c.AddVertex(key, color)
+			if prev, dup := seen[key]; dup {
+				// Interning contract: re-adding a key with the same color
+				// returns the original vertex; a color mismatch is an error.
+				if colors[key] == color {
+					if err != nil || v != prev {
+						t.Fatalf("re-AddVertex(%q, %d) = (%d, %v), want (%d, nil)", key, color, v, err, prev)
+					}
+				} else if err == nil {
+					t.Fatalf("AddVertex(%q) with color %d (was %d) succeeded, want error", key, color, colors[key])
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("AddVertex(%q): %v", key, err)
+			}
+			seen[key] = v
+			colors[key] = color
+			verts = append(verts, v)
+		}
+		if len(verts) == 0 {
+			return
+		}
+		added := false
+		for i := 0; i+3 < len(data) && i < 30; i += 4 {
+			size := 1 + int(data[i]%3)
+			facet := make([]Vertex, 0, size)
+			for j := 0; j < size; j++ {
+				facet = append(facet, verts[int(data[i+1+j%3])%len(verts)])
+			}
+			if err := c.AddSimplex(facet...); err == nil {
+				added = true
+			}
+		}
+		if !added {
+			c.MustAddSimplex(verts[0])
+		}
+		c.Seal()
+
+		for key, v := range seen {
+			if got := c.Key(v); got != key {
+				t.Fatalf("Key(%d) = %q, want %q", v, got, key)
+			}
+			got, ok := c.VertexByKey(key)
+			if !ok || got != v {
+				t.Fatalf("VertexByKey(%q) = (%d, %v), want (%d, true)", key, got, ok, v)
+			}
+			if c.Color(v) != colors[key] {
+				t.Fatalf("Color(%d) = %d, want %d", v, c.Color(v), colors[key])
+			}
+		}
+
+		arena, legacy := SDS(c), legacySDS(c)
+		complexesIdenticalFuzz(t, legacy, arena)
+		if arena.CanonicalString() != legacy.CanonicalString() {
+			t.Fatal("arena and legacy SDS canonical encodings differ")
+		}
+	})
+}
+
+// complexesIdenticalFuzz is complexesIdentical without *testing.T helpers
+// that assume a test context layout — kept minimal for the fuzz loop.
+func complexesIdenticalFuzz(t *testing.T, a, b *Complex) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() {
+		t.Fatalf("vertex count %d vs %d", a.NumVertices(), b.NumVertices())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.Key(Vertex(v)) != b.Key(Vertex(v)) || a.Color(Vertex(v)) != b.Color(Vertex(v)) {
+			t.Fatalf("vertex %d differs: (%q,%d) vs (%q,%d)", v,
+				a.Key(Vertex(v)), a.Color(Vertex(v)), b.Key(Vertex(v)), b.Color(Vertex(v)))
+		}
+	}
+	if len(a.Facets()) != len(b.Facets()) {
+		t.Fatalf("facet count %d vs %d", len(a.Facets()), len(b.Facets()))
+	}
+}
+
+// FuzzCanonicalEncodeRoundTrip feeds seeds to the shared random-complex
+// generator and checks, for the base and its subdivision on both paths:
+// CanonicalHash is exactly the streamed SHA-256 of CanonicalString (the
+// engine's cache keys depend on this), and the encoding is stable across
+// the arena/legacy construction split.
+func FuzzCanonicalEncodeRoundTrip(f *testing.F) {
+	for _, s := range []int64{0, 1, 42, 1 << 30, -7} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := RandomChromaticComplex(rand.New(rand.NewSource(seed)))
+		arena, legacy := SDS(c), legacySDS(c)
+		ac, lc := arena.CanonicalString(), legacy.CanonicalString()
+		if ac != lc {
+			t.Fatal("canonical encodings differ between arena and legacy SDS")
+		}
+		for _, x := range []*Complex{c, arena, legacy} {
+			if x.CanonicalHash() != hashCanonicalOracle(x) {
+				t.Fatal("CanonicalHash diverges from sha256(CanonicalString)")
+			}
+		}
+	})
+}

@@ -14,6 +14,10 @@ import "fmt"
 func Join(a, b *Complex) (*Complex, error) {
 	a.mustBeSealed("Join")
 	b.mustBeSealed("Join")
+	// Joining is a key-identity operation: arena-built inputs materialize
+	// their keys here, once, rather than per-vertex inside the loop.
+	a.ensureKeys()
+	b.ensureKeys()
 	out := NewComplex()
 	mapA := make([]Vertex, a.NumVertices())
 	for v := 0; v < a.NumVertices(); v++ {

@@ -140,15 +140,38 @@ func equalVertexSets(a, b []Vertex) bool {
 // Both complexes must have been built (by SDS and Bsd respectively) from the
 // same sealed complex c.
 func SDSToBsd(c, sds, bsd *Complex) (*SimplicialMap, error) {
+	if c.Base() != nil {
+		return nil, fmt.Errorf("topology: SDSToBsd requires a base complex")
+	}
 	m := NewSimplicialMap(sds, bsd)
-	for v := 0; v < sds.NumVertices(); v++ {
-		// Recover S from the vertex key is fragile; instead use the carrier
-		// when c is the base. The SDS vertex (u,S) has carrier S when c has
-		// no base. For subdivided c the association is not recoverable from
-		// carriers alone, so this helper requires c to be a base complex.
-		if c.Base() != nil {
-			return nil, fmt.Errorf("topology: SDSToBsd requires a base complex")
+	// Structural fast path: when both complexes were arena-built over c,
+	// the (u, S) pair of every SDS vertex and the face of every barycenter
+	// are recorded as provenance, so the map is a pure integer lookup —
+	// no string keys materialize.
+	if sp, bp := sds.prov, bsd.prov; sp != nil && bp != nil &&
+		sp.kind == provSDS && bp.kind == provBsd && sp.src == c && bp.src == c {
+		idx := make(map[string]Vertex, bsd.NumVertices())
+		buf := make([]byte, 0, 64)
+		for w := 0; w < bsd.NumVertices(); w++ {
+			buf = encodeVerts(buf[:0], bp.faceOf(bp.face[w]))
+			idx[string(buf)] = Vertex(w)
 		}
+		for v := 0; v < sds.NumVertices(); v++ {
+			buf = encodeVerts(buf[:0], sp.faceOf(sp.face[v]))
+			w, ok := idx[string(buf)]
+			if !ok {
+				return nil, fmt.Errorf("topology: barycenter of %v missing in Bsd", sp.faceOf(sp.face[v]))
+			}
+			m.Image[v] = w
+		}
+		return m, nil
+	}
+	for v := 0; v < sds.NumVertices(); v++ {
+		// Recovering S from the vertex key is fragile; instead use the
+		// carrier when c is the base: the SDS vertex (u,S) has carrier S
+		// when c has no base. For subdivided c the association is not
+		// recoverable from carriers alone, which is why this helper
+		// requires c to be a base complex.
 		s := sds.Carrier(Vertex(v))
 		bkey := bsdVertexKey(c, s)
 		w, ok := bsd.VertexByKey(bkey)

@@ -38,57 +38,23 @@ type SDSLevel struct {
 }
 
 // SDSStructured is SDS, additionally returning the construction structure.
+//
+// The construction runs on the arena representation: each facet's one-shot
+// IS subdivision is interned positionally (no string keys, no per-facet
+// maps), and the per-facet results are folded into a global integer intern
+// table in facet order. Vertex and facet order are identical to the
+// historical string-keyed construction; string keys materialize lazily on
+// first use (see arena.go).
 func SDSStructured(c *Complex) *SDSLevel {
 	c.mustBeSealed("SDS")
-	out := NewComplex()
-	base := c.base
-	if base == nil {
-		base = c
-	}
-	out.base = base
-	lvl := &SDSLevel{Complex: out, Prev: c}
-
-	addVertex := func(u Vertex, s []Vertex) Vertex {
-		key := sdsVertexKey(c, u, s)
-		v := out.MustAddVertex(key, c.Color(u))
-		if int(v) == len(lvl.U) {
-			lvl.U = append(lvl.U, u)
-			lvl.S = append(lvl.S, append([]Vertex(nil), s...))
-			// Carrier in the original base: union of the carriers of the
-			// vertices of S (S itself when c is the base).
-			carrierSet := make(map[Vertex]struct{})
-			for _, w := range s {
-				for _, b := range c.Carrier(w) {
-					carrierSet[b] = struct{}{}
-				}
-			}
-			carrier := make([]Vertex, 0, len(carrierSet))
-			for b := range carrierSet {
-				carrier = append(carrier, b)
-			}
-			out.SetCarrier(v, carrier)
-		}
-		return v
-	}
-
+	m := newSDSMerger(c)
+	var w sdsWorkerState
+	var r sdsFacetOut
 	for _, t := range c.Facets() {
-		ForEachOrderedPartition(len(t), func(blocks [][]int) {
-			facet := make([]Vertex, 0, len(t))
-			var prefix []Vertex
-			for _, block := range blocks {
-				for _, bi := range block {
-					prefix = append(prefix, t[bi])
-				}
-				s := sortedCopy(prefix)
-				for _, bi := range block {
-					facet = append(facet, addVertex(t[bi], s))
-				}
-			}
-			out.MustAddSimplex(facet...)
-		})
+		w.subdivide(c, t, &r)
+		m.absorb(&r)
 	}
-	out.Seal()
-	return lvl
+	return m.finish()
 }
 
 // SDSPow returns SDS^b(c); SDSPow(c, 0) is c itself.

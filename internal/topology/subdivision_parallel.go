@@ -105,6 +105,10 @@ func sdsParallelStructured(ctx context.Context, c *Complex, workers int) (lvl *S
 		return SDSStructured(c), nil
 	}
 
+	// Workers subdivide facets independently into packed per-facet arenas
+	// (no string keys). Each worker keeps one positional intern table that
+	// persists across all the facets it processes; the version stamp makes
+	// reuse free (arena.go).
 	results := make([]sdsFacetOut, len(facets))
 	idx := make(chan int)
 	var stop atomic.Bool
@@ -113,6 +117,7 @@ func sdsParallelStructured(ctx context.Context, c *Complex, workers int) (lvl *S
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var ws sdsWorkerState
 			for i := range idx {
 				// Keep draining idx so the feeder never blocks, but stop
 				// paying for facets once any worker has seen cancellation.
@@ -123,7 +128,7 @@ func sdsParallelStructured(ctx context.Context, c *Complex, workers int) (lvl *S
 					stop.Store(true)
 					continue
 				}
-				results[i] = subdivideFacet(c, facets[i])
+				ws.subdivide(c, facets[i], &results[i])
 			}
 		}()
 	}
@@ -138,98 +143,18 @@ func sdsParallelStructured(ctx context.Context, c *Complex, workers int) (lvl *S
 
 	// Deterministic merge: facets in original order, and within each facet
 	// the records in first-occurrence order, exactly as the sequential
-	// construction encounters them. AddVertex deduplicates by canonical key,
-	// so vertex indices come out identical.
-	out := NewComplex()
-	base := c.base
-	if base == nil {
-		base = c
-	}
-	out.base = base
-	lvl = &SDSLevel{Complex: out, Prev: c}
-	for ri, r := range results {
+	// construction encounters them. The merger interns faces and vertices
+	// by integer identity (content-addressed face table, (face, u) vertex
+	// table), so vertex indices come out identical to SDSStructured's for
+	// any worker count or chunking.
+	m := newSDSMerger(c)
+	for ri := range results {
 		if ri%mergeCheckInterval == 0 {
 			if err := canceled(); err != nil {
 				return nil, err
 			}
 		}
-		global := make([]Vertex, len(r.recs))
-		for li, rec := range r.recs {
-			v := out.MustAddVertex(rec.key, c.Color(rec.u))
-			if int(v) == len(lvl.U) {
-				lvl.U = append(lvl.U, rec.u)
-				lvl.S = append(lvl.S, rec.s)
-				out.SetCarrier(v, rec.carrier)
-			}
-			global[li] = v
-		}
-		for _, f := range r.facets {
-			mapped := make([]Vertex, len(f))
-			for i, li := range f {
-				mapped[i] = global[li]
-			}
-			out.MustAddSimplex(mapped...)
-		}
+		m.absorb(&results[ri])
 	}
-	out.Seal()
-	return lvl, nil
-}
-
-// sdsVertexRec is one new vertex (u, S) of a facet's subdivision, with its
-// canonical key and carrier in the original base precomputed by the worker.
-type sdsVertexRec struct {
-	key     string
-	u       Vertex
-	s       []Vertex
-	carrier []Vertex
-}
-
-// sdsFacetOut is the subdivision of a single facet: its distinct vertices in
-// first-occurrence order and its facets as local record indices.
-type sdsFacetOut struct {
-	recs   []sdsVertexRec
-	facets [][]int
-}
-
-// subdivideFacet computes the one-shot IS subdivision of facet t, recording
-// vertices in the same order the sequential SDSStructured loop would first
-// encounter them.
-func subdivideFacet(c *Complex, t []Vertex) sdsFacetOut {
-	var out sdsFacetOut
-	local := make(map[string]int)
-	addLocal := func(u Vertex, s []Vertex) int {
-		key := sdsVertexKey(c, u, s)
-		if id, ok := local[key]; ok {
-			return id
-		}
-		carrierSet := make(map[Vertex]struct{})
-		for _, w := range s {
-			for _, b := range c.Carrier(w) {
-				carrierSet[b] = struct{}{}
-			}
-		}
-		carrier := make([]Vertex, 0, len(carrierSet))
-		for b := range carrierSet {
-			carrier = append(carrier, b)
-		}
-		id := len(out.recs)
-		out.recs = append(out.recs, sdsVertexRec{key: key, u: u, s: append([]Vertex(nil), s...), carrier: carrier})
-		local[key] = id
-		return id
-	}
-	ForEachOrderedPartition(len(t), func(blocks [][]int) {
-		facet := make([]int, 0, len(t))
-		var prefix []Vertex
-		for _, block := range blocks {
-			for _, bi := range block {
-				prefix = append(prefix, t[bi])
-			}
-			s := sortedCopy(prefix)
-			for _, bi := range block {
-				facet = append(facet, addLocal(t[bi], s))
-			}
-		}
-		out.facets = append(out.facets, facet)
-	})
-	return out
+	return m.finish(), nil
 }

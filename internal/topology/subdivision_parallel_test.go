@@ -179,3 +179,25 @@ func BenchmarkSDSPowParallel(b *testing.B) {
 		SDSPowParallel(base, 3, 0)
 	}
 }
+
+// The (3,3) pair exercises the 421875-facet level from the golden table —
+// the scale at which fan-out across workers matters. On a single-core
+// machine SDSPowParallel degenerates to the sequential path (workers = 1
+// takes the fallback), so the two numbers coincide there; see EXPERIMENTS
+// E21 for the recorded figures and the multicore caveat.
+
+func BenchmarkSDSPow33Sequential(b *testing.B) {
+	base := Simplex(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SDSPow(base, 3)
+	}
+}
+
+func BenchmarkSDSPow33Parallel(b *testing.B) {
+	base := Simplex(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SDSPowParallel(base, 3, 0)
+	}
+}

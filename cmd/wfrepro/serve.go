@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"strings"
 
+	"waitfree/internal/cluster"
 	"waitfree/internal/engine"
 	"waitfree/internal/faultfs"
 	"waitfree/internal/serve"
@@ -31,6 +33,9 @@ func cmdServe(args []string) error {
 	brkCooldown := fs.Duration("breaker-cooldown", 0, "quiet period before the breaker recovers (0 = default)")
 	faultSeed := fs.Int64("faultseed", 0, "DEV ONLY: inject deterministic storage faults into the spill tier with this seed (0 = off)")
 	faultRate := fs.Float64("faultrate", 0, "DEV ONLY: per-op fault probability for -faultseed (0 = default 0.1)")
+	peers := fs.String("peers", "", "comma-separated static peer list (incl. or excl. this node) — enables cluster mode")
+	advertise := fs.String("advertise", "", "this node's address as it appears in -peers (default: -addr)")
+	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per peer on the hash ring")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,6 +50,28 @@ func cmdServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "wfrepro serve: DEV storage fault injection active\n%s", ffs.PlanString(32))
 	}
 	eng := engine.New(eo)
+
+	var cl *cluster.Cluster
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = *addr
+		}
+		var err error
+		cl, err = cluster.New(cluster.Options{
+			Self:    self,
+			Peers:   strings.Split(*peers, ","),
+			VNodes:  *vnodes,
+			Metrics: eng.Metrics(),
+		})
+		if err != nil {
+			return err
+		}
+		// Peer cache-fill: the engine asks the key's ring owner for finished
+		// artifacts before computing a miss.
+		eng.SetPeerFiller(cl)
+	}
+
 	srv := serve.NewServer(eng, serve.Options{
 		MaxConcurrent:   *maxconc,
 		Timeout:         *timeout,
@@ -59,10 +86,16 @@ func cmdServe(args []string) error {
 			Window:    *brkWindow,
 			Cooldown:  *brkCooldown,
 		},
+		Cluster: cl,
 	})
 
 	ctx, stop := signalContext()
 	defer stop()
+	if cl != nil {
+		cl.Start(ctx)
+		fmt.Printf("wfrepro serve: cluster mode, self=%s ring=%d nodes × %d vnodes\n",
+			cl.Self(), len(cl.Ring().Nodes()), *vnodes)
+	}
 
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)

@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"waitfree/internal/engine"
+	"waitfree/internal/obs"
+)
+
+// Wire protocol headers shared by the serving layer and the peer clients.
+const (
+	// HeaderForwarded marks a query already forwarded once; a node that
+	// receives it serves locally no matter what the ring says, so routing
+	// never exceeds one hop even under stale membership views.
+	HeaderForwarded = "X-WFR-Forwarded"
+	// HeaderSha256 carries the hex SHA-256 of a peer artifact's payload;
+	// the fetcher recomputes it over the received bytes and refuses the
+	// artifact on mismatch — a sick peer or a torn transfer becomes a local
+	// recompute, never a wrong verdict.
+	HeaderSha256 = "X-WFR-Sha256"
+	// HeaderTier reports which cache tier answered a peer artifact fetch.
+	HeaderTier = "X-WFR-Tier"
+	// HeaderTraceID propagates the originating request's trace across
+	// forwards and peer fills.
+	HeaderTraceID = "X-Trace-Id"
+)
+
+// PeerState is a peer's health as seen by this node.
+type PeerState string
+
+const (
+	// PeerUp: the last probe (or peer exchange) succeeded.
+	PeerUp PeerState = "up"
+	// PeerSuspect: exactly one consecutive failure — still routed to, so a
+	// single dropped probe costs nothing.
+	PeerSuspect PeerState = "suspect"
+	// PeerDown: two or more consecutive failures — excluded from routing
+	// and fills until a probe succeeds; probes back off exponentially.
+	PeerDown PeerState = "down"
+)
+
+// Probe defaults: fast enough that a killed node stops receiving forwards
+// within a couple of seconds, slow enough that probing three peers is noise.
+const (
+	DefaultProbeInterval    = 2 * time.Second
+	DefaultProbeTimeout     = 1 * time.Second
+	DefaultMaxProbeInterval = 30 * time.Second
+)
+
+// Options configures a cluster node.
+type Options struct {
+	// Self is this node's advertise address as it appears in the peer list
+	// (scheme optional; "http://" is assumed). Required.
+	Self string
+	// Peers is the full static membership, self included or not — self is
+	// always added. Every node must be given the same set for placement to
+	// agree.
+	Peers []string
+	// VNodes is the virtual-node count per physical node; 0 = DefaultVNodes.
+	VNodes int
+	// ProbeInterval is the health-probe cadence for up peers; 0 = default.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request; 0 = default.
+	ProbeTimeout time.Duration
+	// MaxProbeInterval caps the probe backoff for down peers; 0 = default.
+	MaxProbeInterval time.Duration
+	// Client is the HTTP client for probes, fills, and forwards; nil = a
+	// dedicated client with a 30s overall timeout.
+	Client *http.Client
+	// Metrics receives the cluster counters (cluster_peer_down_total,
+	// cluster_peer_fill_sha_mismatch); nil = a private, unexported set.
+	Metrics *engine.Metrics
+}
+
+// peer is one remote node's tracked health. All fields are guarded by the
+// cluster mutex — peer counts are tiny and the hot path reads one state.
+type peer struct {
+	url       string
+	state     PeerState
+	fails     int
+	nextProbe time.Time
+}
+
+// Cluster is this node's view of the shard ring: placement (immutable,
+// agreed by construction) plus peer health (local, converging by probing).
+// All methods are safe for concurrent use.
+type Cluster struct {
+	self    string
+	ring    *Ring
+	client  *http.Client
+	metrics *engine.Metrics
+
+	probeInterval    time.Duration
+	probeTimeout     time.Duration
+	maxProbeInterval time.Duration
+	now              func() time.Time // injectable clock for tests
+
+	mu    sync.Mutex
+	peers map[string]*peer // remote nodes only
+}
+
+// NormalizeAddr canonicalizes a node address: trims whitespace and adds the
+// http:// scheme when absent, so "localhost:9101" and "http://localhost:9101"
+// name the same ring node on every member.
+func NormalizeAddr(addr string) string {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return ""
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// New builds a cluster node. The ring is built over the normalized union of
+// Peers and Self; peers other than self start optimistically "up" and
+// converge to their real state by probing (or passively, from forward and
+// fill failures).
+func New(o Options) (*Cluster, error) {
+	self := NormalizeAddr(o.Self)
+	if self == "" {
+		return nil, fmt.Errorf("cluster: Self (advertise address) is required")
+	}
+	nodes := []string{self}
+	for _, p := range o.Peers {
+		if n := NormalizeAddr(p); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	ring, err := NewRing(nodes, o.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		self:             self,
+		ring:             ring,
+		client:           o.Client,
+		metrics:          o.Metrics,
+		probeInterval:    o.ProbeInterval,
+		probeTimeout:     o.ProbeTimeout,
+		maxProbeInterval: o.MaxProbeInterval,
+		now:              time.Now,
+		peers:            make(map[string]*peer),
+	}
+	if c.client == nil {
+		c.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.metrics == nil {
+		c.metrics = engine.NewMetrics()
+	}
+	if c.probeInterval <= 0 {
+		c.probeInterval = DefaultProbeInterval
+	}
+	if c.probeTimeout <= 0 {
+		c.probeTimeout = DefaultProbeTimeout
+	}
+	if c.maxProbeInterval <= 0 {
+		c.maxProbeInterval = DefaultMaxProbeInterval
+	}
+	for _, n := range ring.Nodes() {
+		if n != self {
+			c.peers[n] = &peer{url: n, state: PeerUp}
+		}
+	}
+	return c, nil
+}
+
+// Self returns this node's normalized advertise address.
+func (c *Cluster) Self() string { return c.self }
+
+// Client returns the HTTP client used for cluster traffic (forwards share it
+// with probes and fills so connection pools are reused).
+func (c *Cluster) Client() *http.Client { return c.client }
+
+// Ring exposes the placement ring (tests, healthz).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Owner returns the node owning key and whether that node is this one.
+func (c *Cluster) Owner(key string) (node string, self bool) {
+	node = c.ring.Owner(key)
+	return node, node == c.self
+}
+
+// State returns a peer's health ("up" for self — we answered, after all).
+func (c *Cluster) State(node string) PeerState {
+	if node == c.self {
+		return PeerUp
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.peers[node]; p != nil {
+		return p.state
+	}
+	return PeerDown
+}
+
+// Available reports whether node is worth routing to: up or suspect. Down
+// peers are skipped entirely until a probe succeeds.
+func (c *Cluster) Available(node string) bool { return c.State(node) != PeerDown }
+
+// MarkFailure records a failed interaction with node (probe, forward, or
+// fill transport error): one failure makes it suspect, two make it down.
+// Passive marking is what lets a killed owner stop receiving forwards after
+// a single failed request instead of a full probe cycle.
+func (c *Cluster) MarkFailure(node string) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.peers[node]
+	if p == nil {
+		return
+	}
+	p.fails++
+	switch {
+	case p.fails == 1:
+		p.state = PeerSuspect
+	case p.fails >= 2:
+		if p.state != PeerDown {
+			c.metrics.Inc("cluster_peer_down_total")
+		}
+		p.state = PeerDown
+	}
+	// Exponential probe backoff: 1×, 2×, 4×, … the probe interval, capped.
+	backoff := c.probeInterval
+	for i := 1; i < p.fails && backoff < c.maxProbeInterval; i++ {
+		backoff *= 2
+	}
+	if backoff > c.maxProbeInterval {
+		backoff = c.maxProbeInterval
+	}
+	p.nextProbe = now.Add(backoff)
+}
+
+// MarkSuccess records a successful interaction with node, recovering it to
+// up and resetting the probe backoff.
+func (c *Cluster) MarkSuccess(node string) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.peers[node]
+	if p == nil {
+		return
+	}
+	p.state = PeerUp
+	p.fails = 0
+	p.nextProbe = now.Add(c.probeInterval)
+}
+
+// Start launches the background health prober; it stops when ctx is done.
+// One immediate pass runs synchronously in the prober goroutine so a node
+// that boots into a dead cluster converges without waiting a full interval.
+func (c *Cluster) Start(ctx context.Context) {
+	go func() {
+		c.probeAll(ctx)
+		// Tick at a quarter of the probe interval: due times are per-peer
+		// (backoff), the ticker only decides how often we look.
+		t := time.NewTicker(c.probeInterval / 4)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.probeAll(ctx)
+			}
+		}
+	}()
+}
+
+// probeAll probes every peer whose nextProbe time has arrived.
+func (c *Cluster) probeAll(ctx context.Context) {
+	now := c.now()
+	c.mu.Lock()
+	due := make([]string, 0, len(c.peers))
+	for n, p := range c.peers {
+		if !p.nextProbe.After(now) {
+			due = append(due, n)
+		}
+	}
+	c.mu.Unlock()
+	for _, n := range due {
+		if ctx.Err() != nil {
+			return
+		}
+		c.probe(ctx, n)
+	}
+}
+
+// probe GETs a peer's /healthz. Any 2xx-5xx response counts as alive — a
+// degraded peer still serves its cache, which is all a fill needs; only a
+// transport-level failure (refused, timeout) marks it failing.
+func (c *Cluster) probe(ctx context.Context, node string) {
+	pctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, node+"/healthz", nil)
+	if err != nil {
+		c.MarkFailure(node)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.MarkFailure(node)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	c.MarkSuccess(node)
+}
+
+// Snapshot is the /healthz "cluster" section: membership, placement size,
+// and per-peer health.
+func (c *Cluster) Snapshot() map[string]any {
+	peers := make(map[string]string)
+	c.mu.Lock()
+	for n, p := range c.peers {
+		peers[n] = string(p.state)
+	}
+	c.mu.Unlock()
+	return map[string]any{
+		"self":        c.self,
+		"peer_count":  len(peers),
+		"ring_nodes":  len(c.ring.nodes),
+		"ring_points": c.ring.Size(),
+		"vnodes":      c.ring.vnodes,
+		"peers":       peers,
+	}
+}
+
+// ArtifactPath is the peer-internal endpoint serving encoded artifacts by
+// cache key; the key rides path-escaped in the last segment.
+const ArtifactPath = "/v1/peer/artifact/"
+
+// Fetch implements engine.PeerFiller: it retrieves the finished, encoded
+// artifact for key from the owning peer and verifies its SHA-256 content
+// address before handing it to the engine for admission.
+//
+// The (nil, "", nil) return means peer fill does not apply — this node owns
+// the key itself, so the engine should compute. Any error is a fill miss:
+// the owner is down, doesn't have the artifact yet, or served bytes that
+// failed verification; the engine falls back to local compute in all cases,
+// so a sick cluster degrades to N independent nodes, never to wrong answers.
+func (c *Cluster) Fetch(ctx context.Context, key string) ([]byte, string, error) {
+	owner, self := c.Owner(key)
+	if self {
+		return nil, "", nil
+	}
+	if !c.Available(owner) {
+		return nil, "", fmt.Errorf("cluster: owner %s is %s", owner, c.State(owner))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+ArtifactPath+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, "", err
+	}
+	if tr := obs.FromContext(ctx); tr != nil {
+		req.Header.Set(HeaderTraceID, tr.ID)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.MarkFailure(owner)
+		return nil, "", fmt.Errorf("cluster: fetching %s from %s: %w", key, owner, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.MarkFailure(owner)
+		return nil, "", fmt.Errorf("cluster: reading artifact %s from %s: %w", key, owner, err)
+	}
+	// The peer answered: whatever the status, it is alive.
+	c.MarkSuccess(owner)
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, "", fmt.Errorf("cluster: owner %s has no artifact for %s", owner, key)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("cluster: owner %s returned %d for %s", owner, resp.StatusCode, key)
+	}
+	want := resp.Header.Get(HeaderSha256)
+	sum := sha256.Sum256(body)
+	if got := hex.EncodeToString(sum[:]); want == "" || got != want {
+		c.metrics.Inc("cluster_peer_fill_sha_mismatch")
+		return nil, "", fmt.Errorf("cluster: artifact %s from %s failed content-address verification (got sha256 %s, header %q)", key, owner, got, want)
+	}
+	return body, owner, nil
+}

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"waitfree/internal/engine"
+)
+
+func TestNormalizeAddr(t *testing.T) {
+	cases := map[string]string{
+		"localhost:9101":          "http://localhost:9101",
+		"http://localhost:9101":   "http://localhost:9101",
+		"http://localhost:9101/":  "http://localhost:9101",
+		"  10.0.0.1:9100 ":        "http://10.0.0.1:9100",
+		"https://node.internal:4": "https://node.internal:4",
+		"":                        "",
+		"   ":                     "",
+	}
+	for in, want := range cases {
+		if got := NormalizeAddr(in); got != want {
+			t.Errorf("NormalizeAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// twoNode builds a cluster of self + one peer and returns it with a key the
+// peer owns (found by scanning synthetic keys, since ownership is a hash).
+func twoNode(t *testing.T, peerURL string, m *engine.Metrics) (*Cluster, string) {
+	t.Helper()
+	c, err := New(Options{Self: "http://self.invalid:1", Peers: []string{peerURL}, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("solve:%016x:maxb=1", i)
+		if owner, self := c.Owner(key); !self {
+			if owner != NormalizeAddr(peerURL) {
+				t.Fatalf("non-self owner %q is not the peer %q", owner, peerURL)
+			}
+			return c, key
+		}
+	}
+	t.Fatal("no key owned by the peer in 4096 tries — the ring is broken")
+	return nil, ""
+}
+
+// TestFetchVerifiesContentAddress pins the trust model: the fetcher admits a
+// peer artifact only when the payload's SHA-256 matches the X-WFR-Sha256
+// header. A peer serving corrupt bytes (or no header at all) becomes a fill
+// miss, never a wrong artifact.
+func TestFetchVerifiesContentAddress(t *testing.T) {
+	payload := []byte("encoded artifact bytes")
+	sum := sha256.Sum256(payload)
+	goodSha := hex.EncodeToString(sum[:])
+
+	var mode string // switched per subtest
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, ArtifactPath) {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		switch mode {
+		case "good":
+			w.Header().Set(HeaderSha256, goodSha)
+			w.Header().Set(HeaderTier, "memory")
+			w.Write(payload)
+		case "corrupt": // valid-looking header, different bytes
+			w.Header().Set(HeaderSha256, goodSha)
+			w.Write([]byte("bitrot has happened to this artifact"))
+		case "noheader":
+			w.Write(payload)
+		case "missing":
+			http.Error(w, "no such artifact", http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	m := engine.NewMetrics()
+	c, key := twoNode(t, ts.URL, m)
+	ctx := context.Background()
+
+	mode = "good"
+	body, source, err := c.Fetch(ctx, key)
+	if err != nil {
+		t.Fatalf("verified fetch failed: %v", err)
+	}
+	if string(body) != string(payload) || source != NormalizeAddr(ts.URL) {
+		t.Fatalf("fetch returned (%q, %q)", body, source)
+	}
+
+	for _, bad := range []string{"corrupt", "noheader"} {
+		mode = bad
+		before := m.Counter("cluster_peer_fill_sha_mismatch")
+		if _, _, err := c.Fetch(ctx, key); err == nil {
+			t.Fatalf("mode=%s: fetch must refuse a payload that fails verification", bad)
+		}
+		if got := m.Counter("cluster_peer_fill_sha_mismatch"); got != before+1 {
+			t.Fatalf("mode=%s: sha mismatch counter %d, want %d", bad, got, before+1)
+		}
+	}
+
+	mode = "missing"
+	if _, _, err := c.Fetch(ctx, key); err == nil {
+		t.Fatal("a 404 from the owner must be a fill miss")
+	}
+	// The peer answered every time — HTTP-level misses must not mark it sick.
+	if st := c.State(NormalizeAddr(ts.URL)); st != PeerUp {
+		t.Fatalf("peer state after HTTP-level misses = %s, want up", st)
+	}
+}
+
+// TestFetchSelfOwnedSkips: keys this node owns return (nil, "", nil) — the
+// no-op that tells the engine "you are the owner, compute".
+func TestFetchSelfOwnedSkips(t *testing.T) {
+	c, err := New(Options{Self: "http://self.invalid:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, source, err := c.Fetch(context.Background(), "solve:abc:maxb=1")
+	if body != nil || source != "" || err != nil {
+		t.Fatalf("self-owned fetch = (%v, %q, %v), want (nil, \"\", nil)", body, source, err)
+	}
+}
+
+// TestFetchDownOwnerFailsFast: a down owner is never dialed — the fetch
+// errors immediately so the engine's local-compute fallback starts without
+// burning a connect timeout per query.
+func TestFetchDownOwnerFailsFast(t *testing.T) {
+	m := engine.NewMetrics()
+	c, key := twoNode(t, "http://192.0.2.1:9", m) // TEST-NET, never routable
+	owner, _ := c.Owner(key)
+	c.MarkFailure(owner)
+	c.MarkFailure(owner)
+	if st := c.State(owner); st != PeerDown {
+		t.Fatalf("after two failures, state = %s, want down", st)
+	}
+	start := time.Now()
+	if _, _, err := c.Fetch(context.Background(), key); err == nil {
+		t.Fatal("fetch from a down owner must error")
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("down-owner fetch took %s; it must not touch the network", elapsed)
+	}
+}
+
+// TestPeerStateTransitions walks the health state machine: up → suspect on
+// one failure, → down on the second (counted once), → up again on success
+// with the backoff reset.
+func TestPeerStateTransitions(t *testing.T) {
+	m := engine.NewMetrics()
+	c, err := New(Options{
+		Self:    "http://a:1",
+		Peers:   []string{"http://b:1"},
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := "http://b:1"
+
+	if st := c.State(peer); st != PeerUp {
+		t.Fatalf("peers start optimistically up, got %s", st)
+	}
+	c.MarkFailure(peer)
+	if st := c.State(peer); st != PeerSuspect {
+		t.Fatalf("one failure → %s, want suspect", st)
+	}
+	if !c.Available(peer) {
+		t.Fatal("suspect peers are still routed to")
+	}
+	c.MarkFailure(peer)
+	if st := c.State(peer); st != PeerDown {
+		t.Fatalf("two failures → %s, want down", st)
+	}
+	if c.Available(peer) {
+		t.Fatal("down peers must not be routed to")
+	}
+	c.MarkFailure(peer) // further failures must not re-count the transition
+	if got := m.Counter("cluster_peer_down_total"); got != 1 {
+		t.Fatalf("cluster_peer_down_total = %d, want exactly 1 per up→down transition", got)
+	}
+	c.MarkSuccess(peer)
+	if st := c.State(peer); st != PeerUp {
+		t.Fatalf("success must recover the peer, got %s", st)
+	}
+	c.MarkFailure(peer)
+	c.MarkFailure(peer)
+	if got := m.Counter("cluster_peer_down_total"); got != 2 {
+		t.Fatalf("second down transition must count again, got %d", got)
+	}
+
+	// Self and unknown nodes are inert.
+	if st := c.State("http://a:1"); st != PeerUp {
+		t.Fatalf("self is always up, got %s", st)
+	}
+	c.MarkFailure("http://nobody:1") // must not panic
+	if st := c.State("http://nobody:1"); st != PeerDown {
+		t.Fatalf("unknown nodes read down, got %s", st)
+	}
+}
+
+// TestProbeBackoff pins the backoff math through the injectable clock: each
+// consecutive failure doubles the next-probe delay until the cap.
+func TestProbeBackoff(t *testing.T) {
+	c, err := New(Options{
+		Self:             "http://a:1",
+		Peers:            []string{"http://b:1"},
+		ProbeInterval:    time.Second,
+		MaxProbeInterval: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1000, 0)
+	c.now = func() time.Time { return base }
+	for i, want := range []time.Duration{
+		time.Second,     // 1 fail: 1×
+		2 * time.Second, // 2 fails: 2×
+		4 * time.Second, // 3 fails: 4× = cap
+		4 * time.Second, // 4 fails: capped
+	} {
+		c.MarkFailure("http://b:1")
+		c.mu.Lock()
+		got := c.peers["http://b:1"].nextProbe.Sub(base)
+		c.mu.Unlock()
+		if got != want {
+			t.Fatalf("after %d failures, backoff = %s, want %s", i+1, got, want)
+		}
+	}
+}
+
+// TestProberConvergesOnDeadPeer runs the real prober against a port with
+// nothing listening: the peer must converge to down within a few probe
+// intervals, and a live listener appearing later must bring it back up.
+func TestProberConvergesOnDeadPeer(t *testing.T) {
+	// Reserve an address, then free it so nothing is listening.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	m := engine.NewMetrics()
+	c, err := New(Options{
+		Self:          "http://self.invalid:1",
+		Peers:         []string{addr},
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  100 * time.Millisecond,
+		Metrics:       m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.Start(ctx)
+
+	peer := NormalizeAddr(addr)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.State(peer) != PeerDown {
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never marked the dead peer down (state=%s)", c.State(peer))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m.Counter("cluster_peer_down_total") < 1 {
+		t.Fatal("down transition not counted")
+	}
+
+	// Resurrect the address; the prober must recover the peer. Binding the
+	// same port can race with the OS briefly, so retry.
+	var ln2 net.Listener
+	for i := 0; i < 50; i++ {
+		if ln2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("re-binding %s: %v", addr, err)
+	}
+	hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})}
+	go hs.Serve(ln2)
+	defer hs.Close()
+
+	for c.State(peer) != PeerUp {
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never recovered the healed peer (state=%s)", c.State(peer))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSnapshotShape pins the /healthz cluster section contract.
+func TestSnapshotShape(t *testing.T) {
+	c, err := New(Options{Self: "node-a:1", Peers: []string{"node-b:1", "node-c:1"}, VNodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if snap["self"] != "http://node-a:1" {
+		t.Fatalf("self = %v", snap["self"])
+	}
+	if snap["peer_count"] != 2 || snap["ring_nodes"] != 3 || snap["vnodes"] != 16 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	if snap["ring_points"] != 48 {
+		t.Fatalf("ring_points = %v, want 48", snap["ring_points"])
+	}
+	peers := snap["peers"].(map[string]string)
+	if peers["http://node-b:1"] != "up" || peers["http://node-c:1"] != "up" {
+		t.Fatalf("peers: %v", peers)
+	}
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys generates n synthetic cache keys shaped like the engine's real
+// ones (kind prefix + content hash + parameters).
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("solve:%016x:maxb=%d:maxnodes=0", ringHash(fmt.Sprintf("key-%d", i)), i%4)
+	}
+	return keys
+}
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://10.0.0.%d:9100", i+1)
+	}
+	return nodes
+}
+
+// TestRingPlacementDeterministic pins the property cluster mode rests on:
+// every node, given the same peer list in any order (and with duplicates),
+// computes the same owner for every key. Placement disagreements would turn
+// one-hop routing into ping-pong.
+func TestRingPlacementDeterministic(t *testing.T) {
+	nodes := ringNodes(5)
+	ref, err := NewRing(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(2000)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if trial%2 == 1 {
+			shuffled = append(shuffled, shuffled[0]) // duplicates collapse
+		}
+		r, err := NewRing(shuffled, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("trial %d: owner of %q = %s, reference says %s", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingAddRemapsBounded pins consistent hashing's point: growing N nodes
+// to N+1 remaps ~K/(N+1) of K keys — not everything, like mod-N hashing
+// would. The tolerance is 2× the expectation, loose enough for vnode
+// placement variance, tight enough to catch a broken ring (which remaps
+// ~K·N/(N+1)).
+func TestRingAddRemapsBounded(t *testing.T) {
+	const n, numKeys = 5, 4000
+	nodes := ringNodes(n)
+	before, err := NewRing(nodes, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(append(append([]string(nil), nodes...), "http://10.0.0.99:9100"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(numKeys)
+	remapped := 0
+	for _, k := range keys {
+		if before.Owner(k) != after.Owner(k) {
+			// Every remapped key must move TO the new node — adding a node
+			// never reshuffles keys between existing nodes.
+			if got := after.Owner(k); got != "http://10.0.0.99:9100" {
+				t.Fatalf("key %q moved between pre-existing nodes (%s → %s)", k, before.Owner(k), got)
+			}
+			remapped++
+		}
+	}
+	expected := float64(numKeys) / float64(n+1)
+	if float64(remapped) > 2*expected {
+		t.Fatalf("adding 1 node to %d remapped %d/%d keys; want ≤ 2×K/(N+1) = %.0f", n, remapped, numKeys, 2*expected)
+	}
+	if remapped == 0 {
+		t.Fatal("adding a node remapped nothing; the new node owns no keys")
+	}
+}
+
+// TestRingRemoveRemapsOnlyOrphans: removing a node moves exactly the keys it
+// owned; every other key keeps its owner (warm caches stay warm through a
+// peer's departure).
+func TestRingRemoveRemapsOnlyOrphans(t *testing.T) {
+	nodes := ringNodes(5)
+	before, err := NewRing(nodes, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := nodes[2]
+	after, err := NewRing(append(append([]string(nil), nodes[:2]...), nodes[3:]...), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(4000) {
+		ownerBefore, ownerAfter := before.Owner(k), after.Owner(k)
+		if ownerBefore == removed {
+			if ownerAfter == removed {
+				t.Fatalf("key %q still owned by the removed node", k)
+			}
+			continue
+		}
+		if ownerBefore != ownerAfter {
+			t.Fatalf("key %q not owned by the removed node moved anyway: %s → %s", k, ownerBefore, ownerAfter)
+		}
+	}
+}
+
+// TestRingBalance: virtual nodes keep the load split roughly even — with
+// 128 vnodes each, no node of three owns less than 15% or more than 55% of
+// the keyspace (expectation: 33%).
+func TestRingBalance(t *testing.T) {
+	nodes := ringNodes(3)
+	r, err := NewRing(nodes, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	keys := ringKeys(6000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		frac := float64(counts[n]) / float64(len(keys))
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.1f%% of the keyspace; vnode placement is badly unbalanced: %v", n, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingDegenerate pins the edges: a single node owns everything, an
+// empty node list is an error, vnodes default when unset.
+func TestRingDegenerate(t *testing.T) {
+	r, err := NewRing([]string{"http://a:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != DefaultVNodes {
+		t.Fatalf("default vnodes: ring has %d points, want %d", r.Size(), DefaultVNodes)
+	}
+	for _, k := range ringKeys(50) {
+		if r.Owner(k) != "http://a:1" {
+			t.Fatal("single-node ring must own every key")
+		}
+	}
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty ring must be an error")
+	}
+	if _, err := NewRing([]string{"", ""}, 8); err == nil {
+		t.Fatal("ring of empty node names must be an error")
+	}
+}

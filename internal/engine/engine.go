@@ -59,6 +59,10 @@ type Engine struct {
 	workers  int
 	maxNodes int64
 	metrics  *Metrics
+	// peerFill, when set (SetPeerFiller, cluster mode), is consulted on a
+	// cache miss before computing: a non-owned key may already be answered
+	// byte-identically in the owning peer's cache.
+	peerFill PeerFiller
 }
 
 // New builds an engine.
@@ -197,6 +201,13 @@ func (e *Engine) doInner(ctx context.Context, op, key string, topLevel bool, com
 			e.metrics.CacheMisses.Add(1)
 		} else {
 			e.metrics.Inc(op + "_miss")
+		}
+		// Peer cache-fill: before computing a missed key, try fetching the
+		// finished artifact from its ring owner. Inside the flight, so all
+		// local waiters share one fetch; any failure falls through to
+		// compute.
+		if v, ok := e.tryPeerFill(cctx, op, key); ok {
+			return v, nil
 		}
 		v, err := compute(cctx)
 		if err != nil {

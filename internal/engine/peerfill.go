@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"context"
+
+	"waitfree/internal/obs"
+)
+
+// PeerFiller fetches finished, encoded artifacts from the peer that owns
+// their cache key on the cluster's hash ring. internal/cluster implements
+// it; the engine stays ignorant of rings, HTTP, and membership — it only
+// knows that some keys may already be answered elsewhere.
+type PeerFiller interface {
+	// Fetch returns the encoded artifact for key and a short source label
+	// (the owning peer's address).
+	//
+	// A (nil, "", nil) return means peer fill does not apply to this key —
+	// it is locally owned, or no cluster is configured — and is not counted
+	// as a fill miss. Any error is a fill miss: the caller computes locally.
+	// The payload must already be verified against its SHA-256 content
+	// address by the implementation; the engine still treats it as
+	// untrusted input (a decode failure is a miss, never a crash).
+	Fetch(ctx context.Context, key string) (payload []byte, source string, err error)
+}
+
+// SetPeerFiller installs the cluster's peer cache-fill hook. Call once,
+// before the engine starts serving queries — the field is read without
+// synchronization on the query path.
+func (e *Engine) SetPeerFiller(f PeerFiller) { e.peerFill = f }
+
+// tryPeerFill attempts to answer a missed key from the owning peer's cache
+// instead of computing: fetch the encoded artifact (content-address
+// verified by the filler), decode it with the key kind's spill codec, and
+// admit it to the local store. Runs inside the singleflight compute, so N
+// local waiters on one key cost one peer fetch — and with every node
+// forwarding cold non-owned queries to the owner, one search cluster-wide.
+//
+// Every failure path returns (nil, false) and the caller computes locally:
+// peer fill is an optimization with the same trust model as the spill tier —
+// best-effort, verified, and never load-bearing for correctness.
+func (e *Engine) tryPeerFill(ctx context.Context, op, key string) (any, bool) {
+	pf := e.peerFill
+	if pf == nil {
+		return nil, false
+	}
+	codec, ok := e.cache.codecs[kindOf(key)]
+	if !ok {
+		return nil, false
+	}
+	_, span := obs.StartSpan(ctx, "cluster.fill")
+	span.SetStr("op", op)
+	defer span.Finish()
+	payload, source, err := pf.Fetch(ctx, key)
+	if err == nil && payload == nil && source == "" {
+		span.SetStr("cluster.fill_source", "skip") // locally owned key
+		return nil, false
+	}
+	if err != nil {
+		e.metrics.Inc("cluster_peer_fill_miss")
+		span.SetStr("cluster.fill_source", "miss")
+		return nil, false
+	}
+	v, err := codec.decode(payload)
+	if err != nil {
+		e.metrics.Inc("cluster_peer_fill_miss")
+		e.metrics.Inc("cluster_peer_fill_decode_errors")
+		span.SetStr("cluster.fill_source", "decode_error")
+		return nil, false
+	}
+	e.cache.Put(key, v)
+	e.metrics.Inc("cluster_peer_fill_hit")
+	span.SetStr("cluster.fill_source", source)
+	return v, true
+}
+
+// TryPeerFill is the serving layer's routing probe: before forwarding a
+// non-owned query, ask the owner for the finished artifact — a repeated
+// query landing on a non-owner becomes one small artifact fetch plus a
+// local cache hit, no forward and no recompute. Returns whether the key is
+// now answerable from the local store.
+func (e *Engine) TryPeerFill(ctx context.Context, key string) bool {
+	_, ok := e.tryPeerFill(ctx, "route", key)
+	return ok
+}
+
+// EncodedArtifact returns the spill-codec encoding of the artifact cached
+// under key (memory or disk tier), for serving to peers. The encoding is
+// deterministic for a given artifact, so every node serves byte-identical
+// payloads — which is what makes the SHA-256 the artifact's content address
+// rather than a per-node checksum.
+func (e *Engine) EncodedArtifact(key string) (payload []byte, tier string, ok bool) {
+	codec, hasCodec := e.cache.codecs[kindOf(key)]
+	if !hasCodec {
+		return nil, "", false
+	}
+	v, tier, ok := e.cache.GetTier(key)
+	if !ok {
+		return nil, "", false
+	}
+	data, err := codec.encode(v)
+	if err != nil {
+		return nil, "", false
+	}
+	return data, tier, true
+}

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeFiller is a canned PeerFiller: returns the same (payload, source, err)
+// on every Fetch and counts calls.
+type fakeFiller struct {
+	payload []byte
+	source  string
+	err     error
+	calls   atomic.Int32
+}
+
+func (f *fakeFiller) Fetch(ctx context.Context, key string) ([]byte, string, error) {
+	f.calls.Add(1)
+	return f.payload, f.source, f.err
+}
+
+// fillSolveReq is a cheap solve query used across the fill tests.
+var fillSolveReq = SolveRequest{Spec: TaskSpec{Family: "identity", Procs: 2}, MaxLevel: 0}
+
+// TestPeerFillHit proves a fill-answered query never computes: the filler
+// serves an artifact with a sentinel verdict no local computation would
+// produce, and that sentinel comes back to the caller.
+func TestPeerFillHit(t *testing.T) {
+	sentinel := &SolveResponse{Task: "identity", Spec: fillSolveReq.Spec, Verdict: "FILLED FROM PEER", Solvable: true}
+	payload, err := gobEncode(sentinel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{})
+	f := &fakeFiller{payload: payload, source: "http://peer-1"}
+	e.SetPeerFiller(f)
+
+	resp, err := e.Solve(context.Background(), fillSolveReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != "FILLED FROM PEER" {
+		t.Fatalf("verdict %q — the engine computed instead of filling", resp.Verdict)
+	}
+	if got := e.Metrics().Counter("cluster_peer_fill_hit"); got != 1 {
+		t.Fatalf("cluster_peer_fill_hit = %d, want 1", got)
+	}
+	if got := f.calls.Load(); got != 1 {
+		t.Fatalf("filler called %d times, want 1", got)
+	}
+
+	// The filled artifact is admitted to the local cache: the repeat query
+	// is a memory hit, no second fetch.
+	if _, err := e.Solve(context.Background(), fillSolveReq); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.calls.Load(); got != 1 {
+		t.Fatalf("repeat query re-fetched (calls=%d); want a local cache hit", got)
+	}
+	if got := e.Metrics().CacheHits.Load(); got != 1 {
+		t.Fatalf("cache_hits = %d, want 1 for the repeat query", got)
+	}
+}
+
+// TestPeerFillBadPayloadFallsBack pins the trust model: a payload that fails
+// to decode is a miss and a local compute, never an error to the caller.
+func TestPeerFillBadPayloadFallsBack(t *testing.T) {
+	e := New(Options{})
+	e.SetPeerFiller(&fakeFiller{payload: []byte("not a gob"), source: "http://peer-1"})
+	resp, err := e.Solve(context.Background(), fillSolveReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Solvable || resp.Level != 0 {
+		t.Fatalf("fallback compute produced a wrong verdict: %+v", resp)
+	}
+	m := e.Metrics()
+	if m.Counter("cluster_peer_fill_miss") != 1 || m.Counter("cluster_peer_fill_decode_errors") != 1 {
+		t.Fatalf("want 1 fill miss + 1 decode error, got miss=%d decode=%d",
+			m.Counter("cluster_peer_fill_miss"), m.Counter("cluster_peer_fill_decode_errors"))
+	}
+	if m.Counter("cluster_peer_fill_hit") != 0 {
+		t.Fatal("bad payload must not count as a fill hit")
+	}
+}
+
+// TestPeerFillErrorFallsBack: a fetch error (owner down, 404, checksum
+// mismatch — all surface as errors) means local compute.
+func TestPeerFillErrorFallsBack(t *testing.T) {
+	e := New(Options{})
+	e.SetPeerFiller(&fakeFiller{err: errors.New("owner is down")})
+	resp, err := e.Solve(context.Background(), fillSolveReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Solvable {
+		t.Fatalf("fallback compute produced a wrong verdict: %+v", resp)
+	}
+	if got := e.Metrics().Counter("cluster_peer_fill_miss"); got != 1 {
+		t.Fatalf("cluster_peer_fill_miss = %d, want 1", got)
+	}
+}
+
+// TestPeerFillSkip: the (nil, "", nil) return — locally owned key — computes
+// without counting a fill miss.
+func TestPeerFillSkip(t *testing.T) {
+	e := New(Options{})
+	f := &fakeFiller{}
+	e.SetPeerFiller(f)
+	if _, err := e.Solve(context.Background(), fillSolveReq); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls.Load() == 0 {
+		t.Fatal("filler was never consulted")
+	}
+	m := e.Metrics()
+	if m.Counter("cluster_peer_fill_miss") != 0 || m.Counter("cluster_peer_fill_hit") != 0 {
+		t.Fatalf("skip must count neither hit nor miss: hit=%d miss=%d",
+			m.Counter("cluster_peer_fill_hit"), m.Counter("cluster_peer_fill_miss"))
+	}
+}
+
+// TestEncodedArtifactRoundTrip pins the peer-serving side: the encoded
+// artifact decodes back to the cached response, and the encoding is
+// deterministic (two calls, identical bytes) — the property that makes its
+// SHA-256 a content address.
+func TestEncodedArtifactRoundTrip(t *testing.T) {
+	e := New(Options{})
+	req := ComplexRequest{N: 1, B: 1}
+	want, err := e.ComplexInfo(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, tier, ok := e.EncodedArtifact(req.Key())
+	if !ok {
+		t.Fatal("EncodedArtifact missed a just-computed key")
+	}
+	if tier != TierMemory {
+		t.Fatalf("tier %q, want memory", tier)
+	}
+	var got ComplexResponse
+	if err := gobDecode(payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := EncodeJSON(&got)
+	wantJSON, _ := EncodeJSON(want)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("artifact round-trip diverged: %s vs %s", gotJSON, wantJSON)
+	}
+	again, _, _ := e.EncodedArtifact(req.Key())
+	if string(again) != string(payload) {
+		t.Fatal("encoding is not deterministic — SHA-256 cannot be its content address")
+	}
+	if _, _, ok := e.EncodedArtifact("cx:n=3:b=3"); ok {
+		t.Fatal("EncodedArtifact invented an uncached artifact")
+	}
+	if _, _, ok := e.EncodedArtifact("nokind:whatever"); ok {
+		t.Fatal("EncodedArtifact served a key kind with no codec")
+	}
+}

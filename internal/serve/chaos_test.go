@@ -141,14 +141,14 @@ func TestChaosSoak(t *testing.T) {
 								errs <- fmt.Errorf("%s: 200 body diverged from the fault-free reference:\n got: %s\nwant: %s", q, body, reference[q])
 								return
 							}
-						case http.StatusBadRequest, http.StatusServiceUnavailable:
+						case http.StatusBadRequest, http.StatusTooManyRequests, http.StatusServiceUnavailable:
 							var m map[string]any
 							if err := json.Unmarshal(body, &m); err != nil || m["error"] == "" {
 								errs <- fmt.Errorf("%s: %d body is not a typed JSON error: %s", q, resp.StatusCode, body)
 								return
 							}
 						default:
-							errs <- fmt.Errorf("%s: status %d (body %s) — only 200/400/503 are allowed under storage faults", q, resp.StatusCode, body)
+							errs <- fmt.Errorf("%s: status %d (body %s) — only 200/400/429/503 are allowed under storage faults", q, resp.StatusCode, body)
 							return
 						}
 					}

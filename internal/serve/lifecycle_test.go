@@ -162,13 +162,14 @@ func TestServerTimeoutReturns503(t *testing.T) {
 	}
 }
 
-// TestRetryAfterOn503 pins the Retry-After satellite: every 503 the server
-// emits — capacity rejections from the limiter AND deadline 503s written by
-// http.TimeoutHandler itself — carries a Retry-After header holding an
-// integer number of seconds in [1, 60], derived from queue depth × recent
-// p50. The timeout path is the load-bearing case: TimeoutHandler writes its
-// 503 after discarding the handler's buffered response, so the header can
-// only come from the wrapper outside it.
+// TestRetryAfterOn503 pins the Retry-After satellite: every retryable
+// rejection the server emits — 429 capacity sheds from the limiter AND
+// deadline 503s written by http.TimeoutHandler itself — carries a
+// Retry-After header holding an integer number of seconds in [1, 60],
+// derived from queue depth × recent p50. The timeout path is the
+// load-bearing case: TimeoutHandler writes its 503 after discarding the
+// handler's buffered response, so the header can only come from the wrapper
+// outside it.
 func TestRetryAfterOn503(t *testing.T) {
 	checkRetryAfter := func(t *testing.T, resp *http.Response) {
 		t.Helper()
@@ -188,8 +189,8 @@ func TestRetryAfterOn503(t *testing.T) {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusServiceUnavailable {
-			t.Fatalf("got %d, want 503", resp.StatusCode)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("got %d, want 429 (capacity is load-shedding, not a server fault)", resp.StatusCode)
 		}
 		checkRetryAfter(t, resp)
 	})

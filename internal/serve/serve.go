@@ -8,6 +8,7 @@
 //	GET /v1/complex?n=2&b=1
 //	GET /v1/converge?n=1&target=1&maxk=2
 //	GET /v1/adversary?algo=commitadopt&adversary=random&seed=42&procs=3&crash=2,-1,-1
+//	GET /v1/peer/artifact/{key}     (cluster mode: peers fetch finished artifacts)
 //	GET /healthz
 //	GET /metrics
 //	GET /debug/traces[?id=<trace-id>]
@@ -34,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"waitfree/internal/cluster"
 	"waitfree/internal/engine"
 	"waitfree/internal/obs"
 	"waitfree/internal/solver"
@@ -70,6 +72,11 @@ type Options struct {
 	DegradedMaxCost int64
 	// Breaker configures the failure-rate breaker behind degraded mode.
 	Breaker BreakerOptions
+	// Cluster, when set, makes this server a shard of a hash-ring cluster:
+	// non-owned keys are peer-filled or forwarded one hop to their owner,
+	// /v1/peer/artifact/{key} serves finished artifacts to peers, and
+	// /healthz gains a cluster section. Nil = single-node mode, no change.
+	Cluster *cluster.Cluster
 }
 
 // DefaultMaxConcurrent is the default in-flight request bound.
@@ -102,7 +109,8 @@ type Server struct {
 	maxCost  int64
 	degCost  int64
 	breaker  *breaker
-	spillSum atomic.Int64 // last observed SpillFaults(), for delta polling
+	cluster  *cluster.Cluster // nil in single-node mode
+	spillSum atomic.Int64     // last observed SpillFaults(), for delta polling
 }
 
 // NewServer builds a Server over eng.
@@ -134,6 +142,7 @@ func NewServer(eng *engine.Engine, o Options) *Server {
 		maxCost: o.MaxCost,
 		degCost: degCost,
 		breaker: newBreaker(o.Breaker),
+		cluster: o.Cluster,
 	}
 }
 
@@ -153,6 +162,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/adversary", s.handleAdversary)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.cluster != nil {
+		mux.HandleFunc("GET /v1/peer/artifact/{key}", s.handlePeerArtifact)
+	}
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	if s.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -173,15 +185,18 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// retryAfterWriter injects a Retry-After header on every 503 passing
-// through, derived from live load (see retryAfterSeconds).
+// retryAfterWriter injects a Retry-After header on every 503 and 429
+// passing through, derived from live load (see retryAfterSeconds). Both are
+// "come back later" statuses: 503 means the server is sick or gave up, 429
+// means the concurrency gate shed the caller; either way the honest hint is
+// the same queue-and-cooldown estimate.
 type retryAfterWriter struct {
 	http.ResponseWriter
 	s *Server
 }
 
 func (w *retryAfterWriter) WriteHeader(code int) {
-	if code == http.StatusServiceUnavailable {
+	if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", strconv.Itoa(w.s.retryAfterSeconds()))
 	}
 	w.ResponseWriter.WriteHeader(code)
@@ -211,8 +226,12 @@ func (s *Server) retryAfterSeconds() int {
 
 // limit is the concurrency gate: a semaphore sized MaxConcurrent, with the
 // queue-depth gauge counting callers blocked on it. Callers that cannot get
-// a slot within a grace period are rejected 503 so a stampede degrades
-// instead of piling up.
+// a slot within a grace period are rejected 429 + Retry-After so a stampede
+// degrades instead of piling up. 429 — not 503 — because load-shedding is
+// the client's signal to back off while the server is healthy; 503 is
+// reserved for the server being sick (degraded mode) or giving up (deadline,
+// budget), so the two failure families are distinguishable in dashboards
+// and client retry policies.
 func (s *Server) limit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m := s.eng.Metrics()
@@ -228,11 +247,11 @@ func (s *Server) limit(next http.Handler) http.Handler {
 			case <-t.C:
 				m.QueueDepth.Add(-1)
 				m.Rejected.Add(1)
-				// Capacity rejections are the "sustained 5xx" the breaker
-				// watches: a stampede that outlasts the grace period should
-				// push the server toward shedding expensive work too.
+				// Capacity rejections still feed the breaker even though they
+				// surface as 429: a stampede that outlasts the grace period
+				// should push the server toward shedding expensive work too.
 				s.breaker.RecordFailures(1)
-				writeError(w, http.StatusServiceUnavailable, errors.New("server at capacity"))
+				writeError(w, http.StatusTooManyRequests, errors.New("server at capacity"))
 				return
 			case <-r.Context().Done():
 				t.Stop()
@@ -272,6 +291,7 @@ func (s *Server) instrument(name string, w http.ResponseWriter, r *http.Request,
 	v, err := fn(ctx)
 	elapsed := time.Since(start)
 	status := http.StatusOK
+	var fwd *forwardResult
 	if err != nil {
 		status = statusFor(err)
 		// 5xx outcomes feed the breaker — except degraded-mode sheds, which
@@ -280,28 +300,56 @@ func (s *Server) instrument(name string, w http.ResponseWriter, r *http.Request,
 		if status >= 500 && !errors.Is(err, ErrDegraded) {
 			s.breaker.RecordFailures(1)
 		}
+	} else if f, ok := v.(*forwardResult); ok {
+		// The owning peer answered; its status is this request's status, and
+		// the route is recorded on the root span so a trace shows the hop.
+		fwd = f
+		status = f.status
+		root.SetStr("cluster.owner", f.owner)
+		root.SetInt("cluster.hop", 1)
 	}
 	root.SetStr("health_state", state)
 	root.SetInt("status", int64(status))
 	root.Finish()
 	s.traces.Record(tr)
 	m.Inc(fmt.Sprintf("http_status_%s_%d", name, status))
-	if err != nil {
+	if err != nil || status >= 400 {
+		// Forwarded failures land in the error series too: a peer's 503
+		// must not pollute the local success percentiles Retry-After uses.
 		m.Observe("http_"+name+"_error", elapsed)
 	} else {
 		m.Observe("http_"+name, elapsed)
 	}
 	if s.slow > 0 && elapsed >= s.slow {
-		s.logger.Warn("slow query",
+		args := []any{
 			"endpoint", name,
 			"trace_id", tr.ID,
 			"status", status,
-			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+			"duration_ms", float64(elapsed) / float64(time.Millisecond),
 			"repro", reproCommand(name, r),
-		)
+		}
+		if fwd != nil {
+			// Forwarded queries pin the route: the repro line replays the
+			// computation anywhere, "owner" says which node served this one.
+			args = append(args, "owner", fwd.owner)
+		}
+		s.logger.Warn("slow query", args...)
 	}
 	if err != nil {
 		writeError(w, status, err)
+		return
+	}
+	if fwd != nil {
+		if fwd.contentType != "" {
+			w.Header().Set("Content-Type", fwd.contentType)
+		}
+		if fwd.retryAfter != "" {
+			w.Header().Set("Retry-After", fwd.retryAfter)
+		}
+		w.WriteHeader(fwd.status)
+		if _, err := w.Write(fwd.body); err != nil {
+			m.Inc("http_write_errors")
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -482,6 +530,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if err := s.admit(req); err != nil {
 			return nil, err
 		}
+		if fr := s.maybeForward(ctx, r, req.Key()); fr != nil {
+			return fr, nil
+		}
 		return s.eng.Solve(ctx, req)
 	})
 }
@@ -499,6 +550,9 @@ func (s *Server) handleComplex(w http.ResponseWriter, r *http.Request) {
 		req := engine.ComplexRequest{N: n, B: b}
 		if err := s.admit(req); err != nil {
 			return nil, err
+		}
+		if fr := s.maybeForward(ctx, r, req.Key()); fr != nil {
+			return fr, nil
 		}
 		return s.eng.ComplexInfo(ctx, req)
 	})
@@ -522,6 +576,9 @@ func (s *Server) handleConverge(w http.ResponseWriter, r *http.Request) {
 		if err := s.admit(req); err != nil {
 			return nil, err
 		}
+		if fr := s.maybeForward(ctx, r, req.Key()); fr != nil {
+			return fr, nil
+		}
 		return s.eng.Converge(ctx, req)
 	})
 }
@@ -534,6 +591,9 @@ func (s *Server) handleAdversary(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := s.admit(req); err != nil {
 			return nil, err
+		}
+		if fr := s.maybeForward(ctx, r, req.Key()); fr != nil {
+			return fr, nil
 		}
 		return s.eng.Adversary(ctx, req)
 	})
@@ -562,12 +622,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// happens, so a probe that reads "ok" also sees the recovery counted.
 	trips, recoveries := s.breaker.Counts()
 	w.Header().Set("Content-Type", "application/json")
-	engine.WriteJSON(w, map[string]any{
+	body := map[string]any{
 		"status":             state,
 		"cache_entries":      s.eng.CacheLen(),
 		"breaker_trips":      trips,
 		"breaker_recoveries": recoveries,
-	})
+	}
+	if s.cluster != nil {
+		// Peer health, membership, and ring size — the prober's live view,
+		// so a kill/heal cycle is observable from any surviving node.
+		body["cluster"] = s.cluster.Snapshot()
+	}
+	engine.WriteJSON(w, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

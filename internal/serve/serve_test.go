@@ -221,14 +221,15 @@ func TestConcurrentMixedLoad(t *testing.T) {
 }
 
 // TestCapacityRejection pins the limiter: with the only slot held, a caller
-// that outlasts the grace period is rejected 503, and the slot's release
-// restores service.
+// that outlasts the grace period is rejected 429 — load-shedding, distinct
+// from the 503s the breaker and deadline paths emit — and the slot's
+// release restores service.
 func TestCapacityRejection(t *testing.T) {
 	s, ts := newTestServer(t, engine.Options{}, Options{MaxConcurrent: 1, Timeout: 200 * time.Millisecond})
 	s.sem <- struct{}{} // occupy the only slot
 	code, body := get(t, ts.URL+"/healthz")
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("with the slot held, got %d %s, want 503", code, body)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("with the slot held, got %d %s, want 429", code, body)
 	}
 	if got := s.Engine().Metrics().Rejected.Load(); got != 1 {
 		t.Errorf("Rejected gauge %d, want 1", got)

@@ -319,8 +319,11 @@ func (c *Complex) IsPure() bool {
 // color (i.e. the coloring is a dimension-preserving map to a simplex).
 func (c *Complex) IsChromatic() bool {
 	c.mustBeSealed("IsChromatic")
-	for _, a := range c.verts {
-		if a.color == Uncolored {
+	// Read colors by index, not by struct copy: a whole-vertexAttr copy
+	// would read the key field, which arena complexes materialize lazily
+	// under keyOnce — racing with a concurrent ensureKeys on a shared level.
+	for i := range c.verts {
+		if c.verts[i].color == Uncolored {
 			return false
 		}
 	}
@@ -414,8 +417,9 @@ func (c *Complex) EulerCharacteristic() int {
 // VerticesOfColor returns all vertices with the given color, ascending.
 func (c *Complex) VerticesOfColor(color int) []Vertex {
 	var out []Vertex
-	for i, a := range c.verts {
-		if a.color == color {
+	for i := range c.verts {
+		// Indexed field read, not a struct copy: see IsChromatic.
+		if c.verts[i].color == color {
 			out = append(out, Vertex(i))
 		}
 	}
@@ -425,8 +429,9 @@ func (c *Complex) VerticesOfColor(color int) []Vertex {
 // Colors returns the sorted set of colors used in the complex.
 func (c *Complex) Colors() []int {
 	set := make(map[int]struct{})
-	for _, a := range c.verts {
-		set[a.color] = struct{}{}
+	for i := range c.verts {
+		// Indexed field read, not a struct copy: see IsChromatic.
+		set[c.verts[i].color] = struct{}{}
 	}
 	out := make([]int, 0, len(set))
 	for col := range set {

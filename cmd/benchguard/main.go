@@ -1,9 +1,10 @@
 // Command benchguard compares a `go test -json -bench` run against a
 // committed baseline and fails (exit 1) on regressions: more than a
-// configurable ns/op slowdown (default 10%), or ANY increase in allocs/op.
-// The asymmetry is deliberate — wall-clock numbers wobble with CI machine
-// load, allocation counts are deterministic, so the alloc gate is exact
-// while the time gate has a tolerance band.
+// configurable ns/op slowdown (default 10%), ANY increase in allocs/op, or
+// ANY increase in the solver benchmarks' custom nodes/op metric. The
+// asymmetry is deliberate — wall-clock numbers wobble with CI machine load,
+// while allocation and search-node counts are deterministic, so those gates
+// are exact and the time gate has a tolerance band.
 //
 // Usage:
 //
@@ -32,6 +33,8 @@ import (
 // benchResult is one benchmark line, keyed by package-qualified name.
 type benchResult struct {
 	NsPerOp     float64
+	NodesPerOp  float64
+	HasNodes    bool
 	AllocsPerOp int64
 	HasAllocs   bool
 }
@@ -45,9 +48,12 @@ type testEvent struct {
 }
 
 // benchLine matches a gofmt'd benchmark result. The `-\d+` strips the
-// GOMAXPROCS suffix so baselines transfer across machine shapes; the B/op
-// and allocs/op groups are optional because -benchmem may be absent.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ B/op\s+(\d+) allocs/op)?`)
+// GOMAXPROCS suffix so baselines transfer across machine shapes; the
+// nodes/op group is optional because only the solver benchmarks report it
+// (ReportMetric prints custom units between ns/op and the -benchmem pair),
+// and the B/op and allocs/op groups are optional because -benchmem may be
+// absent.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) nodes/op)?(?:\s+[\d.]+ B/op\s+(\d+) allocs/op)?`)
 
 // parseFile reads either a -json event stream or plain bench output and
 // returns results keyed "pkg:BenchmarkName" (or just the name when no
@@ -110,11 +116,14 @@ func parseEventStream(data []byte) (map[string]string, bool) {
 }
 
 // parseText scans reassembled bench output. Plain output carries its
-// package in "pkg:" header lines; a -json chunk gets it from the event.
+// package in "pkg:" header lines — each header switches the current package,
+// so a multi-package plain file keys identically to a -json stream of the
+// same run. A -json chunk seeds pkg from the event; its embedded "pkg:"
+// header names the same package, so the switch is a no-op there.
 func parseText(text, pkg string, out map[string]benchResult) {
 	for _, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
-		if rest, ok := strings.CutPrefix(line, "pkg: "); ok && pkg == "" {
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
 			pkg = strings.TrimSpace(rest)
 			continue
 		}
@@ -128,7 +137,11 @@ func parseText(text, pkg string, out map[string]benchResult) {
 		}
 		r := benchResult{NsPerOp: ns}
 		if m[3] != "" {
-			r.AllocsPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+			r.NodesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			r.HasNodes = true
+		}
+		if m[4] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
 			r.HasAllocs = true
 		}
 		key := m[1]
@@ -169,12 +182,19 @@ func run(baselinePath, currentPath string, threshold float64, stdout *strings.Bu
 			failed = true
 			fmt.Fprintf(stdout, "FAIL %s: %.0f ns/op, baseline %.0f (+%.1f%% > %.0f%% allowed)\n",
 				name, cur.NsPerOp, base.NsPerOp, 100*(cur.NsPerOp/base.NsPerOp-1), 100*threshold)
+		case cur.HasNodes && base.HasNodes && cur.NodesPerOp > base.NodesPerOp:
+			failed = true
+			fmt.Fprintf(stdout, "FAIL %s: %.0f nodes/op, baseline %.0f (search nodes are deterministic; any increase fails)\n",
+				name, cur.NodesPerOp, base.NodesPerOp)
 		case cur.HasAllocs && base.HasAllocs && cur.AllocsPerOp > base.AllocsPerOp:
 			failed = true
 			fmt.Fprintf(stdout, "FAIL %s: %d allocs/op, baseline %d (any increase fails)\n",
 				name, cur.AllocsPerOp, base.AllocsPerOp)
 		default:
 			fmt.Fprintf(stdout, "ok   %s: %.0f ns/op (baseline %.0f)", name, cur.NsPerOp, base.NsPerOp)
+			if cur.HasNodes && base.HasNodes {
+				fmt.Fprintf(stdout, ", %.0f nodes/op (baseline %.0f)", cur.NodesPerOp, base.NodesPerOp)
+			}
 			if cur.HasAllocs && base.HasAllocs {
 				fmt.Fprintf(stdout, ", %d allocs/op (baseline %d)", cur.AllocsPerOp, base.AllocsPerOp)
 			}

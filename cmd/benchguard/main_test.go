@@ -59,6 +59,26 @@ func TestParsePlainBenchOutput(t *testing.T) {
 	}
 }
 
+// TestParsePlainMultiPackage: a plain baseline spanning several packages
+// must key each benchmark under its own "pkg:" header, matching the keys a
+// -json stream of the same run would produce — otherwise every cross-package
+// comparison silently degrades to SKIP.
+func TestParsePlainMultiPackage(t *testing.T) {
+	plain := "pkg: waitfree/internal/engine\nBenchmarkEngineSolveWarm-4 20 9000 ns/op\n" +
+		"pkg: waitfree/internal/solver\nBenchmarkSolverStructuredSetConsensus-4 200 750000 ns/op 1299 nodes/op 123000 B/op 4399 allocs/op\n"
+	got, err := parseFile(write(t, "multi.txt", plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["waitfree/internal/engine:BenchmarkEngineSolveWarm"]; !ok {
+		t.Fatalf("engine key missing: %v", keys(got))
+	}
+	r, ok := got["waitfree/internal/solver:BenchmarkSolverStructuredSetConsensus"]
+	if !ok || !r.HasNodes || r.NodesPerOp != 1299 || r.AllocsPerOp != 4399 {
+		t.Fatalf("solver key wrong: %+v (ok=%v)", r, ok)
+	}
+}
+
 func TestGateNsPerOpRegression(t *testing.T) {
 	base := write(t, "base.txt", "pkg: p\nBenchmarkX-4 10 1000 ns/op\n")
 	cur := write(t, "cur.txt", "pkg: p\nBenchmarkX-4 10 1200 ns/op\n")
@@ -88,6 +108,46 @@ func TestGateAllocRegressionIsExact(t *testing.T) {
 	}
 	if !failed {
 		t.Fatalf("+1 allocs/op passed the gate; report:\n%s", out.String())
+	}
+}
+
+// TestGateNodesRegressionIsExact pins the solver search-node gate: nodes/op
+// is ReportMetric output printed between ns/op and the -benchmem pair, it is
+// deterministic, and ANY increase fails regardless of timing headroom.
+func TestGateNodesRegressionIsExact(t *testing.T) {
+	base := write(t, "base.txt", "pkg: p\nBenchmarkSolver-4 10 1000 ns/op 1299 nodes/op 500 B/op 40 allocs/op\n")
+	cur := write(t, "cur.txt", "pkg: p\nBenchmarkSolver-4 10 1000 ns/op 1305 nodes/op 500 B/op 40 allocs/op\n")
+	var out strings.Builder
+	failed, err := run(base, cur, 0.10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("+6 nodes/op passed the gate; report:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "nodes/op") {
+		t.Fatalf("failure not attributed to nodes/op:\n%s", out.String())
+	}
+	// Equal node counts pass, and a fractional metric (68.00) parses.
+	base2 := write(t, "base2.txt", "pkg: p\nBenchmarkSolver-4 10 1000 ns/op 68.00 nodes/op 500 B/op 40 allocs/op\n")
+	cur2 := write(t, "cur2.txt", "pkg: p\nBenchmarkSolver-4 10 1000 ns/op 68.00 nodes/op 500 B/op 40 allocs/op\n")
+	out.Reset()
+	if failed, err = run(base2, cur2, 0.10, &out); err != nil || failed {
+		t.Fatalf("equal nodes/op failed the gate (err=%v):\n%s", err, out.String())
+	}
+}
+
+// TestParseNodesMetricWithoutBenchmem: a nodes/op metric with no trailing
+// -benchmem pair still parses (and vice versa — the alloc-only shape is
+// covered by the plain-output test above).
+func TestParseNodesMetricWithoutBenchmem(t *testing.T) {
+	got, err := parseFile(write(t, "n.txt", "pkg: p\nBenchmarkSolver-8 10 1000 ns/op 36.00 nodes/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["p:BenchmarkSolver"]
+	if !ok || !r.HasNodes || r.NodesPerOp != 36 || r.HasAllocs {
+		t.Fatalf("parse wrong: %+v (ok=%v)", r, ok)
 	}
 }
 

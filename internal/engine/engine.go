@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"waitfree/internal/converge"
@@ -59,6 +60,13 @@ type Engine struct {
 	workers  int
 	maxNodes int64
 	metrics  *Metrics
+	// prior is the EWMA of observed solver nodes per subdivision facet —
+	// the calibration behind CalibratedSolveCost (cost.go). priorSet
+	// distinguishes "no solve observed yet" from a genuine zero (the
+	// structured solver really does decide whole families with zero nodes).
+	priorMu  sync.Mutex
+	prior    float64
+	priorSet bool
 	// peerFill, when set (SetPeerFiller, cluster mode), is consulted on a
 	// cache miss before computing: a non-owned key may already be answered
 	// byte-identically in the owning peer's cache.
@@ -293,6 +301,7 @@ func (e *Engine) computeSolve(ctx context.Context, req SolveRequest) (*SolveResp
 			return nil, err
 		}
 		res, err := solver.SolveAtLevelOn(ctx, task, b, sub, opts)
+		e.recordSolve(res, sub)
 		if err != nil {
 			return nil, err // solver.ErrBudget or solver.ErrCanceled, wrapped with level and node count
 		}

@@ -158,6 +158,14 @@ func (m *Metrics) Inc(name string) {
 	m.mu.Unlock()
 }
 
+// Add bumps a named counter by delta (e.g. the solver's per-level node and
+// prune totals, which arrive in batches rather than one at a time).
+func (m *Metrics) Add(name string, delta int64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
 // Observe records a latency sample under the named histogram.
 func (m *Metrics) Observe(name string, d time.Duration) {
 	m.mu.Lock()

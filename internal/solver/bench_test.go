@@ -1,0 +1,69 @@
+package solver
+
+import (
+	"context"
+	"testing"
+
+	"waitfree/internal/tasks"
+	"waitfree/internal/topology"
+)
+
+// The solver benchmarks report a custom nodes/op metric alongside ns/op.
+// Node counts are fully deterministic (pinned by the differential and
+// determinism tests), so cmd/benchguard gates them EXACTLY: any increase in
+// nodes/op is a pruning regression, caught even when ns/op noise would hide
+// it. The subdivision is built once outside the loop — these benchmarks
+// measure the search, not SDS construction.
+
+func benchSolve(b *testing.B, task *tasks.Task, level int, opts Options) {
+	b.Helper()
+	sub := topology.SDSPow(task.Inputs, level)
+	ctx := context.Background()
+	var nodes int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SolveAtLevelOn(ctx, task, level, sub, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = res.Nodes
+	}
+	b.ReportMetric(float64(nodes), "nodes/op")
+}
+
+// BenchmarkSolverStructuredSetConsensus: the hardest level both engines
+// finish — set agreement's binding constraints are 2-dimensional, so forward
+// checking explores the same 1299 nodes as the oracle. This pins the node
+// count of the real search path.
+func BenchmarkSolverStructuredSetConsensus(b *testing.B) {
+	benchSolve(b, tasks.SetConsensus(3, 2), 1, Options{})
+}
+
+// BenchmarkSolverExhaustiveSetConsensus keeps the oracle measured so a speed
+// regression in either engine is attributable.
+func BenchmarkSolverExhaustiveSetConsensus(b *testing.B) {
+	benchSolve(b, tasks.SetConsensus(3, 2), 1, Options{Engine: EngineExhaustive})
+}
+
+// BenchmarkSolverStructuredConsensusDeep: binary consensus at the deepest E6
+// level. Propagation alone decides it — nodes/op must stay exactly 0; any
+// nonzero value means AC-3 stopped closing the consensus family.
+func BenchmarkSolverStructuredConsensusDeep(b *testing.B) {
+	benchSolve(b, tasks.Consensus(2), 3, Options{})
+}
+
+// BenchmarkSolverExhaustiveConsensusDeep: the same instance under the
+// oracle's 68-node search — the before/after pair documented in
+// EXPERIMENTS.md E23.
+func BenchmarkSolverExhaustiveConsensusDeep(b *testing.B) {
+	benchSolve(b, tasks.Consensus(2), 3, Options{Engine: EngineExhaustive})
+}
+
+// BenchmarkSolverStructuredApproxAgreement: a solvable instance where the
+// structured engine still searches (36 nodes vs the oracle's 85) — exercises
+// propagation, decomposition, and forward checking together on the success
+// path.
+func BenchmarkSolverStructuredApproxAgreement(b *testing.B) {
+	benchSolve(b, tasks.ApproxAgreement(4), 2, Options{})
+}

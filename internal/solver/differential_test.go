@@ -8,6 +8,7 @@ package solver_test
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"waitfree/internal/engine"
@@ -57,6 +58,175 @@ func TestE6VerdictTable(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestE6DifferentialStructuredVsExhaustive cross-checks the structured
+// engine against the exhaustive oracle on every level of the E6 table that
+// the oracle can finish: verdicts must match exactly, every solvable result
+// must pass VerifyDecisionMap, and the structured node count must never
+// exceed the oracle's (forward checking explores a subset of the plain
+// backtracking's nodes; propagation and decomposition only shrink it
+// further).
+func TestE6DifferentialStructuredVsExhaustive(t *testing.T) {
+	cases := []struct {
+		task *tasks.Task
+		b    int
+	}{
+		{tasks.IdentityTask(3), 0},
+		{tasks.SetConsensus(3, 3), 0},
+		{tasks.Renaming(2, 3), 0},
+		{tasks.ApproxAgreement(2), 0},
+		{tasks.ApproxAgreement(2), 1},
+		{tasks.ApproxAgreement(4), 1},
+		{tasks.ApproxAgreement(4), 2},
+		{tasks.Consensus(2), 0},
+		{tasks.Consensus(2), 1},
+		{tasks.Consensus(2), 2},
+		{tasks.Consensus(2), 3},
+		{tasks.Consensus(3), 0},
+		{tasks.Consensus(3), 1},
+		{tasks.SetConsensus(3, 2), 0},
+		{tasks.SetConsensus(3, 2), 1},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/b=%d", tc.task.Name, tc.b), func(t *testing.T) {
+			sub := topology.SDSPow(tc.task.Inputs, tc.b)
+			exh, err := solver.SolveAtLevelOn(ctx, tc.task, tc.b, sub, solver.Options{Engine: solver.EngineExhaustive})
+			if err != nil {
+				t.Fatalf("exhaustive: %v", err)
+			}
+			str, err := solver.SolveAtLevelOn(ctx, tc.task, tc.b, sub, solver.Options{})
+			if err != nil {
+				t.Fatalf("structured: %v", err)
+			}
+			if str.Solvable != exh.Solvable {
+				t.Fatalf("verdicts differ: structured %v, exhaustive oracle %v", str.Solvable, exh.Solvable)
+			}
+			if str.Nodes > exh.Nodes {
+				t.Errorf("structured explored %d nodes, oracle %d — pruning made the search LARGER", str.Nodes, exh.Nodes)
+			}
+			if str.Solvable {
+				if err := solver.VerifyDecisionMap(tc.task, str); err != nil {
+					t.Errorf("VerifyDecisionMap(structured): %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestRandomTasksDifferential fuzzes the differential over
+// topology.RandomChromaticComplex inputs with randomized pairwise output
+// constraints (monotone by construction: a face has fewer pairs than its
+// coface). Seeded, so any failure is a reproducible case, not a flake. The
+// bans drive a spread of solvable and unsolvable instances; both engines
+// must agree on all of them, at level 0 and level 1.
+func TestRandomTasksDifferential(t *testing.T) {
+	ctx := context.Background()
+	var solvableSeen, unsolvableSeen int
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		task := randomPairwiseTask(rng, seed)
+		for b := 0; b <= 1; b++ {
+			sub := topology.SDSPow(task.Inputs, b)
+			exh, err := solver.SolveAtLevelOn(ctx, task, b, sub, solver.Options{Engine: solver.EngineExhaustive})
+			if err != nil {
+				t.Fatalf("seed %d b=%d exhaustive: %v", seed, b, err)
+			}
+			str, err := solver.SolveAtLevelOn(ctx, task, b, sub, solver.Options{})
+			if err != nil {
+				t.Fatalf("seed %d b=%d structured: %v", seed, b, err)
+			}
+			if str.Solvable != exh.Solvable {
+				t.Fatalf("seed %d b=%d: verdicts differ: structured %v, oracle %v", seed, b, str.Solvable, exh.Solvable)
+			}
+			if str.Nodes > exh.Nodes {
+				t.Errorf("seed %d b=%d: structured %d nodes > oracle %d", seed, b, str.Nodes, exh.Nodes)
+			}
+			if str.Solvable {
+				solvableSeen++
+				if err := solver.VerifyDecisionMap(task, str); err != nil {
+					t.Errorf("seed %d b=%d: VerifyDecisionMap: %v", seed, b, err)
+				}
+			} else {
+				unsolvableSeen++
+			}
+		}
+	}
+	// The fuzz only means something if it exercises both verdicts.
+	if solvableSeen == 0 || unsolvableSeen == 0 {
+		t.Fatalf("degenerate fuzz corpus: %d solvable, %d unsolvable", solvableSeen, unsolvableSeen)
+	}
+}
+
+// randomPairwiseTask wraps a random chromatic input complex in a task whose
+// outputs form a complete two-value chromatic complex over the input's
+// colors and whose Δ bans a random set of cross-color output pairs.
+func randomPairwiseTask(rng *rand.Rand, seed int64) *tasks.Task {
+	inputs := topology.RandomChromaticComplex(rng)
+	colors := inputs.Colors()
+
+	out := topology.NewComplex()
+	byColor := make(map[int][]topology.Vertex)
+	for _, col := range colors {
+		for val := 0; val < 2; val++ {
+			v := out.MustAddVertex(fmt.Sprintf("o%d_%d", col, val), col)
+			byColor[col] = append(byColor[col], v)
+		}
+	}
+	// Facets: every one-value-per-color assignment, so every distinct-color
+	// vertex set is a simplex and banning happens purely in Δ.
+	var build func(i int, cur []topology.Vertex)
+	build = func(i int, cur []topology.Vertex) {
+		if i == len(colors) {
+			out.MustAddSimplex(cur...)
+			return
+		}
+		for _, v := range byColor[colors[i]] {
+			build(i+1, append(cur, v))
+		}
+	}
+	build(0, nil)
+	outputs := out.Seal()
+
+	// Ban density spans sparse (always satisfiable) to near-total (usually
+	// not): with ≤3 colors there are at most 12 cross-color value pairs.
+	banned := make(map[[2]topology.Vertex]bool)
+	nBans := rng.Intn(13)
+	for i := 0; i < nBans; i++ {
+		ca, cb := colors[rng.Intn(len(colors))], colors[rng.Intn(len(colors))]
+		if ca == cb {
+			continue
+		}
+		a := byColor[ca][rng.Intn(2)]
+		b := byColor[cb][rng.Intn(2)]
+		if a > b {
+			a, b = b, a
+		}
+		banned[[2]topology.Vertex{a, b}] = true
+	}
+
+	return &tasks.Task{
+		Name:    fmt.Sprintf("random-pairwise-%d", seed),
+		Procs:   len(colors),
+		Inputs:  inputs,
+		Outputs: outputs,
+		Allowed: func(in, outS []topology.Vertex) bool {
+			for i := 0; i < len(outS); i++ {
+				for j := i + 1; j < len(outS); j++ {
+					a, b := outS[i], outS[j]
+					if a > b {
+						a, b = b, a
+					}
+					if banned[[2]topology.Vertex{a, b}] {
+						return false
+					}
+				}
+			}
+			return true
+		},
 	}
 }
 

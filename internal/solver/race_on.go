@@ -1,0 +1,8 @@
+//go:build race
+
+package solver
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// budgets are skipped under -race because instrumentation changes both
+// allocation counts and what testing.AllocsPerRun observes.
+const raceEnabled = true

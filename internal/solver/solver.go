@@ -5,12 +5,20 @@
 //	there is a color-preserving simplicial map δ : SDS^b(I) → O with
 //	δ(s) ∈ Δ(carrier(s)) for every simplex s.
 //
-// SolveAtLevel searches exhaustively for such a map at a fixed subdivision
-// level b by backtracking over vertex assignments with incremental simplex
-// checking, so "no map exists at level b" is a proof, not a timeout (unless
+// SolveAtLevel decides whether such a map exists at a fixed subdivision
+// level b, so "no map exists at level b" is a proof, not a timeout (unless
 // the node budget is exceeded, which is reported as ErrBudget). Full
 // solvability checking is undecidable for three or more processes
 // [Gafni–Koutsoupias]; bounding b is what makes the checker terminate.
+//
+// Two search engines share the level: EngineStructured (the default)
+// prunes with structure — an AC-3 arc-consistency pass over the
+// 1-skeleton, dominated-vertex collapse preprocessing à la
+// Benavides–Rajsbaum, independent search per connected component fanned
+// out over the worker pool, and forward checking inside the backtracking —
+// while EngineExhaustive is the original plain backtracking search, kept
+// in-tree as the differential oracle (differential_test.go requires
+// identical verdicts and structured node counts ≤ exhaustive ones).
 package solver
 
 import (
@@ -19,6 +27,8 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -58,28 +68,81 @@ const (
 	OrderBFS
 )
 
+// EngineKind selects the search engine.
+type EngineKind int
+
+const (
+	// EngineStructured is the default: AC-3 arc consistency over the
+	// 1-skeleton, dominated-vertex collapse preprocessing, per-component
+	// decomposition with parallel fan-out, and forward checking inside the
+	// backtracking. Verdicts are identical to EngineExhaustive; node counts
+	// are typically far lower.
+	EngineStructured EngineKind = iota
+	// EngineExhaustive is the original plain backtracking search, kept as
+	// the differential oracle.
+	EngineExhaustive
+)
+
 // Options tunes the search.
 type Options struct {
 	// MaxNodes caps the number of assignment nodes explored per level.
-	// 0 means DefaultMaxNodes.
+	// 0 means DefaultMaxNodes. Under EngineStructured each independent
+	// component is capped at MaxNodes and the level fails with ErrBudget
+	// if any component exceeds it (or the component total does).
 	MaxNodes int64
 
-	// Order selects the vertex ordering (default OrderDFS).
+	// Order selects the vertex ordering of the exhaustive engine (default
+	// OrderDFS). The structured engine always orders by current domain
+	// size within each component.
 	Order Order
 
-	// Workers bounds the parallelism of the per-vertex domain and
-	// per-simplex carrier precomputation (and, in SolveUpTo, of the
-	// subdivision between levels): 0 means runtime.NumCPU(), 1 forces the
-	// sequential path. The backtracking search itself stays sequential, so
-	// results (including node counts) are identical at any Workers value.
-	// Workers > 1 requires task.Allowed to be safe for concurrent calls —
-	// true of every task in this repository, whose Allowed closures only
-	// read immutable tables.
+	// Workers bounds the parallelism of the per-vertex domain, per-simplex
+	// carrier, and edge-support precomputation, of the per-component
+	// search fan-out under EngineStructured, and (in SolveUpTo) of the
+	// subdivision between levels: 0 means runtime.NumCPU(), 1 forces the
+	// sequential path. Verdicts and node counts are identical at any
+	// Workers value: each component's search is sequential and
+	// deterministic, and the reported node count is assembled in component
+	// order. Workers > 1 requires task.Allowed to be safe for concurrent
+	// calls — true of every task in this repository, whose Allowed
+	// closures only read immutable tables.
 	Workers int
+
+	// Engine selects the search engine (default EngineStructured).
+	Engine EngineKind
+
+	// NoCollapse disables the dominated-vertex collapse preprocessing of
+	// the structured engine (ablation knob; propagation and decomposition
+	// stay on). The solver also re-runs with collapse disabled internally
+	// if restoring eliminated vertices ever fails, so the knob never
+	// affects verdicts.
+	NoCollapse bool
 }
 
 // DefaultMaxNodes is the per-level search budget.
 const DefaultMaxNodes = 50_000_000
+
+// Stats carries the structured engine's pruning telemetry for one level.
+// All fields are deterministic for a given subdivision and task.
+type Stats struct {
+	// PrunedValues counts candidate output vertices removed from per-vertex
+	// domains by the AC-3 pass (0 under EngineExhaustive).
+	PrunedValues int64
+	// CollapsedVertices counts vertices eliminated by the dominated-vertex
+	// collapse preprocessing.
+	CollapsedVertices int
+	// Components is the number of independent subproblems the remaining
+	// constraint graph decomposed into (0 when the search never ran, e.g.
+	// propagation already emptied a domain).
+	Components int
+	// ComponentNodes lists the assignment nodes explored per component, in
+	// deterministic component order.
+	ComponentNodes []int64
+	// CollapseFallback records that restoring eliminated vertices failed
+	// and the level was re-searched with collapse disabled (the re-search's
+	// nodes are included in Result.Nodes).
+	CollapseFallback bool
+}
 
 // Result reports the outcome of a solvability check.
 type Result struct {
@@ -93,6 +156,7 @@ type Result struct {
 	Subdivision *topology.Complex // SDS^Level(Inputs)
 
 	Nodes int64 // assignment nodes explored
+	Stats Stats // structured-engine pruning telemetry
 }
 
 // SolveAtLevel decides whether the task has a decision map at subdivision
@@ -118,17 +182,25 @@ func SolveAtLevelOn(ctx context.Context, task *tasks.Task, b int, sub *topology.
 	}
 	res = &Result{Task: task, Level: b, Subdivision: sub}
 	// Tracing: one solver.search span per level, carrying the search's
-	// deterministic combinatorics — node counts are identical run-to-run
-	// because the backtracking stays sequential, so the trace is a checkable
-	// witness, not a sample. Nil-safe no-op when ctx carries no trace.
+	// deterministic combinatorics — node counts, domain prunes, component
+	// split, and collapse counts are identical run-to-run, so the trace is
+	// a checkable witness, not a sample. Nil-safe no-op when ctx carries no
+	// trace.
 	ctx, span := obs.StartSpan(ctx, "solver.search")
 	span.SetInt("level", int64(b))
 	span.SetInt("vertices", int64(sub.NumVertices()))
 	span.SetInt("facets", int64(len(sub.Facets())))
 	span.SetStr("task", task.Name)
+	span.SetStr("engine", engineName(opts.Engine))
 	defer func() {
 		span.SetInt("nodes", res.Nodes)
 		span.SetInt("solvable", boolInt(res.Solvable))
+		span.SetInt("pruned_domains", res.Stats.PrunedValues)
+		span.SetInt("components", int64(res.Stats.Components))
+		span.SetInt("collapsed_vertices", int64(res.Stats.CollapsedVertices))
+		if len(res.Stats.ComponentNodes) > 0 {
+			span.SetStr("component_nodes", int64List(res.Stats.ComponentNodes))
+		}
 		if err != nil {
 			span.SetStr("error", errKind(err))
 		}
@@ -162,6 +234,22 @@ func SolveAtLevelOn(ctx context.Context, task *tasks.Task, b int, sub *topology.
 		return res, fmt.Errorf("%w: %w", ErrCanceled, err)
 	}
 
+	if opts.Engine == EngineExhaustive {
+		err = solveExhaustive(ctx, task, sub, domains, opts, maxNodes, res)
+	} else {
+		err = solveStructured(ctx, task, sub, domains, opts, maxNodes, res)
+	}
+	if err != nil {
+		return res, fmt.Errorf("%w (level %d, %d nodes)", err, b, res.Nodes)
+	}
+	return res, nil
+}
+
+// solveExhaustive is the original plain backtracking search, preserved as
+// the differential oracle: vertex order, check schedule, and node counts
+// are byte-for-byte those of the pre-structured solver.
+func solveExhaustive(ctx context.Context, task *tasks.Task, sub *topology.Complex, domains [][]topology.Vertex, opts Options, maxNodes int64, res *Result) error {
+	nv := sub.NumVertices()
 	order := searchOrder(sub, domains, opts.Order)
 	pos := make([]int, nv) // vertex → position in order
 	for p, v := range order {
@@ -172,15 +260,7 @@ func SolveAtLevelOn(ctx context.Context, task *tasks.Task, b int, sub *topology.
 	// checks[p] lists simplices fully assigned exactly when position p is.
 	// Carriers are precomputed (in parallel — the dominant cost of this
 	// phase): they are looked up once per search node.
-	all := sub.AllSimplices()
-	var flat [][]topology.Vertex
-	for _, byDim := range all {
-		flat = append(flat, byDim...)
-	}
-	carriers := make([][]topology.Vertex, len(flat))
-	parallelRange(len(flat), opts.Workers, func(i int) {
-		carriers[i] = sub.CarrierOfSimplex(flat[i])
-	})
+	flat, carriers := flatSimplices(sub, opts.Workers)
 	checks := make([][]checkItem, nv)
 	for i, s := range flat {
 		last := 0
@@ -193,6 +273,7 @@ func SolveAtLevelOn(ctx context.Context, task *tasks.Task, b int, sub *topology.
 	}
 
 	assign := make([]topology.Vertex, nv)
+	var scratch []topology.Vertex // reused image buffer; see consistent
 	var nodes int64
 	var dfs func(p int) (bool, error)
 	dfs = func(p int) (bool, error) {
@@ -211,7 +292,7 @@ func SolveAtLevelOn(ctx context.Context, task *tasks.Task, b int, sub *topology.
 				}
 			}
 			assign[v] = w
-			if consistent(task, checks[p], assign) {
+			if consistent(task, checks[p], assign, &scratch) {
 				ok, err := dfs(p + 1)
 				if ok || err != nil {
 					return ok, err
@@ -223,7 +304,7 @@ func SolveAtLevelOn(ctx context.Context, task *tasks.Task, b int, sub *topology.
 	ok, err := dfs(0)
 	res.Nodes = nodes
 	if err != nil {
-		return res, fmt.Errorf("%w (level %d, %d nodes)", err, b, nodes)
+		return err
 	}
 	res.Solvable = ok
 	if ok {
@@ -231,7 +312,22 @@ func SolveAtLevelOn(ctx context.Context, task *tasks.Task, b int, sub *topology.
 		copy(m.Image, assign)
 		res.Map = m
 	}
-	return res, nil
+	return nil
+}
+
+// flatSimplices enumerates every simplex of sub with its carrier, carriers
+// computed on the worker pool (the dominant cost of precompute).
+func flatSimplices(sub *topology.Complex, workers int) ([][]topology.Vertex, [][]topology.Vertex) {
+	all := sub.AllSimplices()
+	var flat [][]topology.Vertex
+	for _, byDim := range all {
+		flat = append(flat, byDim...)
+	}
+	carriers := make([][]topology.Vertex, len(flat))
+	parallelRange(len(flat), workers, func(i int) {
+		carriers[i] = sub.CarrierOfSimplex(flat[i])
+	})
+	return flat, carriers
 }
 
 func boolInt(b bool) int64 {
@@ -239,6 +335,25 @@ func boolInt(b bool) int64 {
 		return 1
 	}
 	return 0
+}
+
+func engineName(e EngineKind) string {
+	if e == EngineExhaustive {
+		return "exhaustive"
+	}
+	return "structured"
+}
+
+// int64List renders per-component node counts as a compact span attribute.
+func int64List(vs []int64) string {
+	var b strings.Builder
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	return b.String()
 }
 
 // errKind names the search-failure class for span attributes.
@@ -261,13 +376,18 @@ type checkItem struct {
 
 // consistent verifies every newly completed simplex: its image must be a
 // simplex of the output complex and allowed for the simplex's carrier.
-func consistent(task *tasks.Task, newly []checkItem, assign []topology.Vertex) bool {
+// scratch is a caller-owned buffer reused across calls so the hot loop
+// allocates nothing (the pre-PR-8 version allocated a fresh image slice per
+// check item per search node); it is grown on demand and returned through
+// the pointer.
+func consistent(task *tasks.Task, newly []checkItem, assign []topology.Vertex, scratch *[]topology.Vertex) bool {
 	for _, item := range newly {
-		image := make([]topology.Vertex, 0, len(item.simplex))
+		image := (*scratch)[:0]
 		for _, v := range item.simplex {
 			image = append(image, assign[v])
 		}
 		image = dedupe(image)
+		*scratch = image[:0]
 		if len(image) > 1 && !task.Outputs.HasSimplex(image) {
 			return false
 		}
@@ -278,8 +398,16 @@ func consistent(task *tasks.Task, newly []checkItem, assign []topology.Vertex) b
 	return true
 }
 
+// dedupe sorts and deduplicates in place. Insertion sort, deliberately:
+// images are tiny (≤ procs vertices) and this runs once per check item per
+// search node, where sort.Slice's closure allocation alone was measurable
+// churn (see TestConsistentAllocFree).
 func dedupe(vs []topology.Vertex) []topology.Vertex {
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
 	out := vs[:0]
 	for i, v := range vs {
 		if i == 0 || v != vs[i-1] {
@@ -295,6 +423,12 @@ func dedupe(vs []topology.Vertex) []topology.Vertex {
 // subdivision consecutively, so a conflict backtracks within the chain
 // instead of thrashing across independent regions of the complex.
 // Breadth-first is kept for the ordering ablation.
+//
+// Adjacency lists are copied and sorted once up front (domain sizes are
+// fixed for the duration of the ordering, so per-visit re-sorting — what
+// the pre-PR-8 version did — produced the same order at O(deg log deg)
+// extra cost per visit; solver_test.go pins the emitted order against that
+// original formulation on the golden tasks).
 func searchOrder(sub *topology.Complex, domains [][]topology.Vertex, strategy Order) []topology.Vertex {
 	nv := sub.NumVertices()
 	adj := make([][]topology.Vertex, nv)
@@ -305,11 +439,8 @@ func searchOrder(sub *topology.Complex, domains [][]topology.Vertex, strategy Or
 			adj[e[1]] = append(adj[e[1]], e[0])
 		}
 	}
-	visited := make([]bool, nv)
-	var order []topology.Vertex
-
-	neighbors := func(v topology.Vertex) []topology.Vertex {
-		ns := append([]topology.Vertex(nil), adj[v]...)
+	for v := range adj {
+		ns := adj[v]
 		sort.Slice(ns, func(i, j int) bool {
 			di, dj := len(domains[ns[i]]), len(domains[ns[j]])
 			if di != dj {
@@ -317,13 +448,15 @@ func searchOrder(sub *topology.Complex, domains [][]topology.Vertex, strategy Or
 			}
 			return ns[i] < ns[j]
 		})
-		return ns
 	}
+	visited := make([]bool, nv)
+	var order []topology.Vertex
+
 	var dfs func(v topology.Vertex)
 	dfs = func(v topology.Vertex) {
 		visited[v] = true
 		order = append(order, v)
-		for _, u := range neighbors(v) {
+		for _, u := range adj[v] {
 			if !visited[u] {
 				dfs(u)
 			}
@@ -336,7 +469,7 @@ func searchOrder(sub *topology.Complex, domains [][]topology.Vertex, strategy Or
 			v := queue[0]
 			queue = queue[1:]
 			order = append(order, v)
-			for _, u := range neighbors(v) {
+			for _, u := range adj[v] {
 				if !visited[u] {
 					visited[u] = true
 					queue = append(queue, u)
@@ -369,6 +502,11 @@ func SolveUpTo(task *tasks.Task, maxLevel int, opts Options) (*Result, error) {
 	return SolveUpToCtx(context.Background(), task, maxLevel, opts)
 }
 
+// subdivide is the between-levels subdivision step, a variable so tests can
+// inject non-cancellation failures (SolveUpToCtx must not misreport those
+// as client disconnects; see the ErrCanceled wrapping below).
+var subdivide = topology.SDSParallelCtx
+
 // SolveUpToCtx is SolveUpTo honoring ctx: both the per-level search and the
 // subdivision step between levels stop cooperatively when the caller goes
 // away, returning ErrCanceled.
@@ -381,9 +519,16 @@ func SolveUpToCtx(ctx context.Context, task *tasks.Task, maxLevel int, opts Opti
 	sub := task.Inputs
 	for b := 0; b <= maxLevel; b++ {
 		if b > 0 {
-			next, err := topology.SDSParallelCtx(ctx, sub, opts.Workers)
+			next, err := subdivide(ctx, sub, opts.Workers)
 			if err != nil {
-				return last, fmt.Errorf("%w: %w", ErrCanceled, err)
+				// Only a subdivision failure caused by the caller going away
+				// is a cancellation; anything else (a genuine construction
+				// failure) must surface as itself, or the serving layer
+				// would misclassify a server-side 500 as a client 499.
+				if ctx.Err() != nil {
+					return last, fmt.Errorf("%w: %w", ErrCanceled, err)
+				}
+				return last, fmt.Errorf("solver: subdivision to level %d failed: %w", b, err)
 			}
 			sub = next
 		}

@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"waitfree/internal/engine"
+	"waitfree/internal/model"
 	"waitfree/internal/solver"
 	"waitfree/internal/tasks"
 )
@@ -23,6 +24,7 @@ func cmdSolve(args []string) error {
 	d := fs.Int("d", 0, "approx-agreement denominator for -json (ε = 1/d)")
 	m := fs.Int("m", 0, "renaming namespace parameter for -json")
 	maxNodes := fs.Int64("maxnodes", 0, "per-level search node budget for -json (0 = engine default)")
+	modelFlag := fs.String("model", "", "affine model: wait-free (default), <t>-resilient, <k>-concurrency, <k>-set")
 	trace := fs.Bool("trace", false, "with -json: print the request's span tree to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -35,6 +37,7 @@ func cmdSolve(args []string) error {
 			Spec:     engine.TaskSpec{Family: *family, Procs: *procs, K: *k, D: *d, M: *m},
 			MaxLevel: *maxB,
 			MaxNodes: *maxNodes,
+			Model:    *modelFlag,
 		})
 		flush()
 		if err != nil {
@@ -43,6 +46,10 @@ func cmdSolve(args []string) error {
 		return engine.WriteJSON(os.Stdout, resp)
 	}
 
+	spec, err := model.Parse(*modelFlag)
+	if err != nil {
+		return err
+	}
 	type job struct {
 		task *tasks.Task
 		maxB int
@@ -56,9 +63,21 @@ func cmdSolve(args []string) error {
 		{tasks.Consensus(2), *maxB},
 		{tasks.SetConsensus(3, 2), min(*maxB, 1)},
 	}
-	fmt.Println("Proposition 3.1 checker: ∃ color-preserving simplicial map SDS^b(I) → O respecting Δ?")
+	if spec.IsWaitFree() {
+		fmt.Println("Proposition 3.1 checker: ∃ color-preserving simplicial map SDS^b(I) → O respecting Δ?")
+	} else {
+		fmt.Printf("Proposition 3.1 checker (%s): ∃ color-preserving simplicial map R^b(I) → O respecting Δ?\n", spec.Canonical())
+	}
+	opts := solver.Options{Restrict: spec.Filter()}
+	if !spec.IsWaitFree() {
+		opts.Model = spec.Canonical()
+	}
 	for _, j := range jobs {
-		res, err := solver.SolveUpToCtx(ctx, j.task, j.maxB, solver.Options{})
+		if err := spec.Validate(len(j.task.Inputs.Colors())); err != nil {
+			fmt.Printf("  %-24s skipped: %v\n", j.task.Name, err)
+			continue
+		}
+		res, err := solver.SolveUpToCtx(ctx, j.task, j.maxB, opts)
 		if err != nil {
 			fmt.Printf("  %-24s budget exceeded: %v\n", j.task.Name, err)
 			continue

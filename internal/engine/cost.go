@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"waitfree/internal/model"
 	"waitfree/internal/solver"
 	"waitfree/internal/topology"
 )
@@ -50,31 +51,42 @@ func satMul(a, b int64) int64 {
 // chainCost is Σ_{b=0}^{maxLevel} facets·Fubini(m)^b: the total facet count
 // of a subdivision chain whose base has `facets` facets of m vertices each.
 func chainCost(facets int64, m, maxLevel int) int64 {
-	fub, err := topology.CountOrderedPartitionsChecked(m)
+	return chainCostModel(facets, m, maxLevel, model.WaitFree())
+}
+
+// chainCostModel generalizes chainCost to restricted chains: an accepted
+// facet keeps its full m vertices, so the per-level multiplier of R^b is
+// constant — the count of model-allowed ordered partitions of an m-set,
+// which for wait-free is exactly Fubini(m) via the same checked recurrence.
+func chainCostModel(facets int64, m, maxLevel int, spec model.Spec) int64 {
+	branch, err := spec.CountAllowedPartitions(m)
 	if err != nil {
 		return CostUnbounded
 	}
 	var total, level int64 = 0, facets
 	for b := 0; b <= maxLevel; b++ {
 		total = satAdd(total, level)
-		level = satMul(level, int64(fub))
+		level = satMul(level, int64(branch))
 	}
 	return total
 }
 
-// complexChainCost sums chainCost per facet of c (facet sizes can differ in
-// non-pure input complexes).
-func complexChainCost(c *topology.Complex, maxLevel int) int64 {
+// complexChainCost sums chainCostModel per facet of c (facet sizes can
+// differ in non-pure input complexes).
+func complexChainCost(c *topology.Complex, maxLevel int, spec model.Spec) int64 {
 	var total int64
 	for _, f := range c.Facets() {
-		total = satAdd(total, chainCost(1, len(f), maxLevel))
+		total = satAdd(total, chainCostModel(1, len(f), maxLevel, spec))
 	}
 	return total
 }
 
 // EstimateCost returns the Lemma 3.3 facet-count estimate for a solve query:
-// the total facets of the SDS chain over the task's input complex through
-// MaxLevel. Invalid specs return the same ErrInvalid the engine would.
+// the total facets of the (restricted) subdivision chain over the task's
+// input complex through MaxLevel. Invalid specs — the task's or the
+// model's — return the same ErrInvalid the engine would, so the serving
+// layer's admission pass rejects an unknown model with 400 before the
+// request key is ever derived or looked up.
 func (r SolveRequest) EstimateCost() (int64, error) {
 	if r.MaxLevel < 0 || r.MaxLevel > MaxSolveLevel {
 		return 0, fmt.Errorf("%w: max_level=%d out of range [0,%d]", ErrInvalid, r.MaxLevel, MaxSolveLevel)
@@ -83,7 +95,14 @@ func (r SolveRequest) EstimateCost() (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return complexChainCost(task.Inputs, r.MaxLevel), nil
+	spec, err := model.Parse(r.Model)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if err := spec.Validate(len(task.Inputs.Colors())); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return complexChainCost(task.Inputs, r.MaxLevel, spec), nil
 }
 
 // EstimateCost returns the facet-count estimate for a complex query: the

@@ -10,6 +10,7 @@ import (
 
 	"waitfree/internal/converge"
 	"waitfree/internal/faultfs"
+	"waitfree/internal/model"
 	"waitfree/internal/obs"
 	"waitfree/internal/solver"
 	"waitfree/internal/topology"
@@ -247,16 +248,39 @@ func boolInt(b bool) int64 {
 // deepest cached level. baseHash is hash(base.CanonicalString()), so two
 // tasks over equal input complexes share the whole chain.
 func (e *Engine) sdsLevel(ctx context.Context, base *topology.Complex, baseHash string, b int) (*topology.Complex, error) {
+	return e.modelLevel(ctx, base, baseHash, b, model.WaitFree())
+}
+
+// modelLevel returns R^b(base) for an affine model — the restricted
+// subdivision chain, cached level-by-level like the wait-free one. For the
+// wait-free model the key is the pre-model "sds:…" key and the filter is
+// nil, so the chain is the identical cached object, not a lookalike.
+// Restriction runs in the same compute step as the subdivision that built
+// the level, while the arena provenance (ordered-partition block sizes) is
+// live; cached restricted levels rehydrate as explicit complexes and are
+// only ever inputs to the next subdivision, never to another restriction.
+func (e *Engine) modelLevel(ctx context.Context, base *topology.Complex, baseHash string, b int, spec model.Spec) (*topology.Complex, error) {
 	if b == 0 {
 		return base, nil
 	}
 	key := fmt.Sprintf("sds:%s:b=%d", baseHash, b)
+	if !spec.IsWaitFree() {
+		key += ":model=" + spec.Canonical()
+	}
+	filter := spec.Filter()
 	v, err := e.do(ctx, "sds", key, false, func(cctx context.Context) (any, error) {
-		prev, err := e.sdsLevel(cctx, base, baseHash, b-1)
+		prev, err := e.modelLevel(cctx, base, baseHash, b-1, spec)
 		if err != nil {
 			return nil, err
 		}
-		return topology.SDSParallelCtx(cctx, prev, e.workers)
+		sub, err := topology.SDSParallelCtx(cctx, prev, e.workers)
+		if err != nil {
+			return nil, err
+		}
+		if filter == nil {
+			return sub, nil
+		}
+		return topology.RestrictSDS(sub, filter)
 	})
 	if err != nil {
 		return nil, err
@@ -273,17 +297,38 @@ func (e *Engine) Solve(ctx context.Context, req SolveRequest) (*SolveResponse, e
 	if req.MaxNodes < 0 {
 		return nil, fmt.Errorf("%w: max_nodes=%d must be non-negative", ErrInvalid, req.MaxNodes)
 	}
-	if _, err := req.Spec.Build(); err != nil {
-		return nil, err // validate before hashing the query
+	task, err := req.Spec.Build() // validate before hashing the query
+	if err != nil {
+		return nil, err
 	}
-	v, err := e.do(ctx, "solve", req.Key(), true, func(cctx context.Context) (any, error) { return e.computeSolve(cctx, req) })
+	spec, err := model.Parse(req.Model)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if err := spec.Validate(len(task.Inputs.Colors())); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	e.metrics.Inc("solve_model_" + metricName(spec))
+	v, err := e.do(ctx, "solve", req.Key(), true, func(cctx context.Context) (any, error) { return e.computeSolve(cctx, req, spec) })
 	if err != nil {
 		return nil, err
 	}
 	return v.(*SolveResponse), nil
 }
 
-func (e *Engine) computeSolve(ctx context.Context, req SolveRequest) (*SolveResponse, error) {
+// metricName renders a model spec as a counter-name segment ("wait_free",
+// "1_resilient", …).
+func metricName(spec model.Spec) string {
+	out := []byte(spec.Canonical())
+	for i, c := range out {
+		if c == '-' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+func (e *Engine) computeSolve(ctx context.Context, req SolveRequest, spec model.Spec) (*SolveResponse, error) {
 	task, err := req.Spec.Build()
 	if err != nil {
 		return nil, err
@@ -293,10 +338,13 @@ func (e *Engine) computeSolve(ctx context.Context, req SolveRequest) (*SolveResp
 		maxNodes = e.maxNodes
 	}
 	opts := solver.Options{MaxNodes: maxNodes, Workers: e.workers}
+	if !spec.IsWaitFree() {
+		opts.Model = spec.Canonical()
+	}
 	baseHash := task.Inputs.CanonicalHash()
 	var last *solver.Result
 	for b := 0; b <= req.MaxLevel; b++ {
-		sub, err := e.sdsLevel(ctx, task.Inputs, baseHash, b)
+		sub, err := e.modelLevel(ctx, task.Inputs, baseHash, b, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -309,14 +357,14 @@ func (e *Engine) computeSolve(ctx context.Context, req SolveRequest) (*SolveResp
 			if err := solver.VerifyDecisionMap(task, res); err != nil {
 				return nil, fmt.Errorf("engine: found map fails verification: %w", err)
 			}
-			return solveResponse(req, res, true), nil
+			return solveResponse(req, spec, res, true), nil
 		}
 		last = res
 	}
-	return solveResponse(req, last, false), nil
+	return solveResponse(req, spec, last, false), nil
 }
 
-func solveResponse(req SolveRequest, res *solver.Result, verified bool) *SolveResponse {
+func solveResponse(req SolveRequest, spec model.Spec, res *solver.Result, verified bool) *SolveResponse {
 	resp := &SolveResponse{
 		Task:        res.Task.Name,
 		Spec:        req.Spec,
@@ -325,6 +373,9 @@ func solveResponse(req SolveRequest, res *solver.Result, verified bool) *SolveRe
 		Solvable:    res.Solvable,
 		Nodes:       res.Nodes,
 		MapVerified: verified && res.Solvable,
+	}
+	if !spec.IsWaitFree() {
+		resp.Model = spec.Canonical()
 	}
 	if res.Subdivision != nil {
 		resp.SubdivisionVertices = res.Subdivision.NumVertices()

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"waitfree/internal/model"
 )
 
 // MaxSolveLevel bounds the subdivision level any query may request; SDS^b
@@ -14,16 +16,36 @@ import (
 const MaxSolveLevel = 4
 
 // SolveRequest asks for a Proposition 3.1 verdict: does a color-preserving
-// simplicial map SDS^b(I) → O respecting Δ exist for some b ≤ MaxLevel?
+// simplicial map R^b(I) → O respecting Δ exist for some b ≤ MaxLevel, where
+// R is the subdivision of the requested model (SDS itself for wait-free)?
 type SolveRequest struct {
 	Spec     TaskSpec `json:"spec"`
 	MaxLevel int      `json:"max_level"`
 	MaxNodes int64    `json:"max_nodes,omitempty"` // 0 = engine default
+	// Model is the affine model in canonical surface syntax ("wait-free",
+	// "1-resilient", "2-concurrency", "2-set"); absent means wait-free, so
+	// pre-model clients and artifacts keep their exact semantics.
+	Model string `json:"model,omitempty"`
 }
 
-// Key returns the request's content address.
+// Key returns the request's content address. Wait-free requests — Model
+// absent or explicitly "wait-free" — produce byte-identical keys to the
+// pre-model engine, so nothing already cached or spilled is invalidated.
+// Non-wait-free models append their canonical form; a model string that
+// does not parse appends a marked verbatim suffix, so it can never alias
+// the wait-free key (Solve and EstimateCost reject it with ErrInvalid
+// before any cache interaction, but the key itself must also be safe —
+// defense against future callers keying first and validating second).
 func (r SolveRequest) Key() string {
-	return fmt.Sprintf("solve:%s:maxb=%d:maxnodes=%d", r.Spec.Hash(), r.MaxLevel, r.MaxNodes)
+	key := fmt.Sprintf("solve:%s:maxb=%d:maxnodes=%d", r.Spec.Hash(), r.MaxLevel, r.MaxNodes)
+	spec, err := model.Parse(r.Model)
+	if err != nil {
+		return key + ":model=!" + r.Model
+	}
+	if spec.IsWaitFree() {
+		return key
+	}
+	return key + ":model=" + spec.Canonical()
 }
 
 // SolveResponse is the verdict. Every field is deterministic for a given
@@ -40,6 +62,10 @@ type SolveResponse struct {
 	SubdivisionVertices int      `json:"subdivision_vertices"`
 	SubdivisionFacets   int      `json:"subdivision_facets"`
 	MapVerified         bool     `json:"map_verified"`
+	// Model echoes the request's model canonically; omitted for wait-free,
+	// keeping wait-free JSON (and gob decoding of pre-model artifacts)
+	// byte-compatible.
+	Model string `json:"model,omitempty"`
 }
 
 // ComplexRequest asks for the shape of SDS^b(sⁿ).

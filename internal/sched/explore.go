@@ -1,6 +1,9 @@
 package sched
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Replay is the adversary used for systematic schedule enumeration: at its
 // i-th decision it picks ready[Choices[i]] (0 when the choice string is
@@ -41,16 +44,40 @@ func (r *Replay) Pick(ready, steps []int) int {
 // aborts after that many schedules (an error reports the truncation, so a
 // test can never silently under-explore).
 func Explore(limit int, run func(adv *Replay) error) (int, error) {
+	kept, _, err := ExploreFiltered(limit, run)
+	return kept, err
+}
+
+// ErrScheduleFiltered is the sentinel a run callback returns from
+// ExploreFiltered to report that the completed schedule falls outside the
+// model under exploration: the schedule still contributes its decision
+// widths to the tree walk (the enumeration must visit every schedule to
+// find the next one), but it is counted as filtered rather than kept, and
+// the walk continues. The callback must only return it after the run
+// completed normally — a filtered verdict needs the full schedule.
+var ErrScheduleFiltered = errors.New("sched: schedule outside model")
+
+// ExploreFiltered enumerates every schedule like Explore, but lets run
+// classify each completed schedule as inside the model (nil), outside it
+// (ErrScheduleFiltered), or a genuine violation (any other error, which
+// aborts the walk). It returns how many schedules were kept and how many
+// filtered; limit > 0 bounds their sum. This is the executable form of the
+// GACT model definition — a model is the subset of runs it admits — and the
+// ground truth the restricted-subdivision semantics is tested against.
+func ExploreFiltered(limit int, run func(adv *Replay) error) (kept, filtered int, err error) {
 	choices := []int{}
-	count := 0
 	for {
 		r := &Replay{Choices: choices}
-		if err := run(r); err != nil {
-			return count, fmt.Errorf("sched: schedule %v: %w", r.Choices, err)
+		switch err := run(r); {
+		case err == nil:
+			kept++
+		case errors.Is(err, ErrScheduleFiltered):
+			filtered++
+		default:
+			return kept, filtered, fmt.Errorf("sched: schedule %v: %w", r.Choices, err)
 		}
-		count++
-		if limit > 0 && count >= limit {
-			return count, fmt.Errorf("sched: exploration truncated at %d schedules", limit)
+		if limit > 0 && kept+filtered >= limit {
+			return kept, filtered, fmt.Errorf("sched: exploration truncated at %d schedules", limit)
 		}
 		// The decisions actually taken this run: the explicit prefix, then
 		// default 0s up to the recorded depth.
@@ -64,7 +91,7 @@ func Explore(limit int, run func(adv *Replay) error) (int, error) {
 			}
 		}
 		if i < 0 {
-			return count, nil
+			return kept, filtered, nil
 		}
 		choices = append(taken[:i:i], taken[i]+1)
 	}

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"waitfree/internal/engine"
+)
+
+// The /v1/solve model parameter at the HTTP boundary: an unknown or
+// out-of-range model must be rejected with 400 by the admission pass —
+// before any cache key is derived — never silently served as wait-free;
+// valid models are echoed; and a wait-free response must not grow a model
+// field (its JSON bytes are a compatibility surface).
+
+func TestSolveModelParam(t *testing.T) {
+	_, ts := newTestServer(t, engine.Options{}, Options{})
+
+	code, body := get(t, ts.URL+"/v1/solve?family=consensus&procs=2&maxb=1&model=0-resilient")
+	if code != http.StatusOK {
+		t.Fatalf("0-resilient solve: %d %s", code, body)
+	}
+	var resp engine.SolveResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Solvable || resp.Level != 1 || resp.Model != "0-resilient" {
+		t.Fatalf("0-resilient consensus-2p must solve at b=1 and echo its model: %+v", resp)
+	}
+}
+
+func TestSolveUnknownModelRejected400(t *testing.T) {
+	_, ts := newTestServer(t, engine.Options{}, Options{})
+	for _, path := range []string{
+		"/v1/solve?family=consensus&procs=2&maxb=1&model=1-byzantine",   // unknown family
+		"/v1/solve?family=consensus&procs=2&maxb=1&model=t-resilient",   // symbolic parameter
+		"/v1/solve?family=consensus&procs=2&maxb=1&model=waitfree",      // not the canonical spelling
+		"/v1/solve?family=consensus&procs=2&maxb=1&model=2-resilient",   // t out of range for 2 procs
+		"/v1/solve?family=consensus&procs=2&maxb=1&model=3-concurrency", // k out of range
+	} {
+		code, body := get(t, ts.URL+path)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: got %d (%s), want 400", path, code, body)
+		}
+		var m map[string]string
+		if err := json.Unmarshal(body, &m); err != nil || m["error"] == "" {
+			t.Errorf("%s: error body not JSON: %s", path, body)
+		}
+	}
+}
+
+func TestSolveWaitFreeJSONHasNoModelField(t *testing.T) {
+	_, ts := newTestServer(t, engine.Options{}, Options{})
+	for _, path := range []string{
+		"/v1/solve?family=consensus&procs=2&maxb=1",
+		"/v1/solve?family=consensus&procs=2&maxb=1&model=wait-free",
+	} {
+		code, body := get(t, ts.URL+path)
+		if code != http.StatusOK {
+			t.Fatalf("%s: %d %s", path, code, body)
+		}
+		if strings.Contains(string(body), `"model"`) {
+			t.Errorf("%s: wait-free response bytes grew a model field: %s", path, body)
+		}
+	}
+}

@@ -670,6 +670,11 @@ func parseSolve(r *http.Request) (engine.SolveRequest, error) {
 		return req, err
 	}
 	req.MaxNodes = int64(maxNodes)
+	// Affine model, canonical surface syntax; absent = wait-free. Passed
+	// through verbatim: admission (EstimateCost) and the engine both reject
+	// unknown or out-of-range models with ErrInvalid → 400, and the repro
+	// line maps it 1:1 onto the CLI's -model flag.
+	req.Model = r.URL.Query().Get("model")
 	return req, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"waitfree/internal/model"
 	"waitfree/internal/tasks"
 	"waitfree/internal/topology"
 )
@@ -66,4 +67,29 @@ func BenchmarkSolverExhaustiveConsensusDeep(b *testing.B) {
 // path.
 func BenchmarkSolverStructuredApproxAgreement(b *testing.B) {
 	benchSolve(b, tasks.ApproxAgreement(4), 2, Options{})
+}
+
+// BenchmarkSolverTResilient: the restricted-subdivision search path —
+// 2-set consensus on R²(I) under 1-resilience, the solvable t < k instance
+// of the model matrix. The restriction is built once outside the loop, so
+// this measures the search over a restricted complex; its node count is
+// deterministic and gated exactly like the wait-free benchmarks.
+func BenchmarkSolverTResilient(b *testing.B) {
+	task := tasks.SetConsensus(3, 2)
+	sub, err := topology.SDSRestrictedPow(task.Inputs, 2, model.TResilient(1).Filter())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var nodes int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SolveAtLevelOn(ctx, task, 2, sub, Options{Model: "1-resilient"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = res.Nodes
+	}
+	b.ReportMetric(float64(nodes), "nodes/op")
 }

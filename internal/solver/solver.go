@@ -117,6 +117,17 @@ type Options struct {
 	// if restoring eliminated vertices ever fails, so the knob never
 	// affects verdicts.
 	NoCollapse bool
+
+	// Restrict filters each subdivision level of SolveUpTo to the facets
+	// of an affine model (internal/model builds these from t-resilience /
+	// k-concurrency / k-set specs): level b is R^b(I), one RestrictSDS per
+	// SDS application. nil means wait-free — the chain is exactly SDS^b(I),
+	// the identical complexes, not merely equivalent ones.
+	Restrict topology.FacetFilter
+
+	// Model optionally names the restriction (a model canonical string)
+	// for the solver.search span; purely observational.
+	Model string
 }
 
 // DefaultMaxNodes is the per-level search budget.
@@ -192,6 +203,9 @@ func SolveAtLevelOn(ctx context.Context, task *tasks.Task, b int, sub *topology.
 	span.SetInt("facets", int64(len(sub.Facets())))
 	span.SetStr("task", task.Name)
 	span.SetStr("engine", engineName(opts.Engine))
+	if opts.Model != "" {
+		span.SetStr("model", opts.Model)
+	}
 	defer func() {
 		span.SetInt("nodes", res.Nodes)
 		span.SetInt("solvable", boolInt(res.Solvable))
@@ -529,6 +543,15 @@ func SolveUpToCtx(ctx context.Context, task *tasks.Task, maxLevel int, opts Opti
 					return last, fmt.Errorf("%w: %w", ErrCanceled, err)
 				}
 				return last, fmt.Errorf("solver: subdivision to level %d failed: %w", b, err)
+			}
+			if opts.Restrict != nil {
+				// Restrict in the same step that built the level, while the
+				// arena provenance (the ordered-partition block sizes) is
+				// live; rehydrated complexes cannot be restricted.
+				next, err = topology.RestrictSDS(next, opts.Restrict)
+				if err != nil {
+					return last, fmt.Errorf("solver: restricting level %d failed: %w", b, err)
+				}
 			}
 			sub = next
 		}

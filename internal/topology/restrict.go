@@ -1,0 +1,179 @@
+package topology
+
+import (
+	"fmt"
+	"slices"
+)
+
+// This file implements restricted standard chromatic subdivisions — the
+// topological side of affine solvability models (DESIGN.md §15). An affine
+// task à la Gafni–He–Kuznetsov–Rieutord is a subcomplex of SDS(s) closed
+// under faces; iterating it (R^b) replaces the wait-free protocol complex
+// SDS^b(I) with the protocol complex of a restricted model (t-resilience,
+// k-concurrency, …). The restriction here is uniform and local: a facet of
+// SDS(c) corresponds to an ordered partition (B1,…,Bm) of its source facet
+// (Lemma 3.2), and a FacetFilter accepts or rejects the facet by the block
+// sizes (|B1|,…,|Bm|) alone. That is exactly the shape of the IRIS-style
+// model restrictions (every classical model in internal/model is such a
+// filter), and it guarantees the restriction composes with iteration: every
+// accepted facet keeps its full vertex set, so the restricted complex is a
+// pure, chromatic, carrier-respecting subcomplex that can be subdivided
+// again.
+
+// FacetFilter decides whether an SDS facet belongs to a restricted model,
+// given the block sizes (|B1|,…,|Bm|) of the ordered partition that
+// generated it, in schedule order (B1 is the first — most concurrent —
+// snapshot block; the sizes sum to the source facet's size). A nil
+// FacetFilter means wait-free: accept everything.
+//
+// Filters must be pure functions of the block-size vector; the slice is
+// reused between calls and must not be retained.
+type FacetFilter func(blocks []int) bool
+
+// SDSBlockSizes returns the block sizes (|B1|,…,|Bm|) of the ordered
+// partition that generated the given facet of an SDS-built complex, in
+// schedule order. The facet's vertices carry their snapshot faces in the
+// construction's provenance: within one facet the snapshots are totally
+// ordered by inclusion (immediacy), so the sorted distinct snapshot sizes
+// are the prefix sums |B1|, |B1|+|B2|, …, and the blocks are their
+// differences.
+//
+// It errors on complexes that were not built by the SDS operators (explicit
+// complexes, Bsd complexes, DTO-rehydrated complexes): those carry no
+// snapshot provenance. Callers restrict a level in the same step that built
+// it, so the provenance is always live there.
+func (c *Complex) SDSBlockSizes(facet []Vertex) ([]int, error) {
+	sizes, err := c.sdsSnapshotSizes(facet, make([]int, 0, len(facet)))
+	if err != nil {
+		return nil, err
+	}
+	return snapshotSizesToBlocks(sizes), nil
+}
+
+// sdsSnapshotSizes collects the sorted distinct snapshot (face) sizes of the
+// facet's vertices into buf.
+func (c *Complex) sdsSnapshotSizes(facet []Vertex, buf []int) ([]int, error) {
+	p := c.prov
+	if p == nil || p.kind != provSDS {
+		return nil, fmt.Errorf("topology: SDSBlockSizes on a complex without SDS provenance")
+	}
+	buf = buf[:0]
+	for _, v := range facet {
+		fi := p.face[v]
+		n := int(p.faceOff[fi+1] - p.faceOff[fi])
+		if !slices.Contains(buf, n) {
+			buf = append(buf, n)
+		}
+	}
+	slices.Sort(buf)
+	return buf, nil
+}
+
+// snapshotSizesToBlocks converts sorted distinct prefix sizes in place into
+// block sizes: blocks[j] = sizes[j] − sizes[j−1].
+func snapshotSizesToBlocks(sizes []int) []int {
+	for j := len(sizes) - 1; j > 0; j-- {
+		sizes[j] -= sizes[j-1]
+	}
+	return sizes
+}
+
+// RestrictSDS returns the subcomplex of the SDS-built complex s spanned by
+// the facets whose ordered-partition block sizes satisfy accept. When every
+// facet is accepted — always the case for a nil (wait-free) filter, and for
+// filters that happen to be no-ops at this dimension — the result is s
+// itself, pointer-identical, so canonical encodings and content addresses
+// of unrestricted levels are byte-for-byte unchanged.
+//
+// Otherwise the result is a fresh explicit complex over the same base:
+// surviving vertices keep their canonical keys, colors, and carriers, in
+// the original index order, so restricted complexes of equal levels are
+// equal, content-address identically, and round-trip through the engine's
+// DTO codec.
+func RestrictSDS(s *Complex, accept FacetFilter) (*Complex, error) {
+	if accept == nil {
+		return s, nil
+	}
+	s.mustBeSealed("RestrictSDS")
+	facets := s.Facets()
+	keep := make([]bool, len(facets))
+	all := true
+	sizeBuf := make([]int, 0, 8)
+	for i, f := range facets {
+		var err error
+		sizeBuf, err = s.sdsSnapshotSizes(f, sizeBuf)
+		if err != nil {
+			return nil, err
+		}
+		keep[i] = accept(snapshotSizesToBlocks(sizeBuf))
+		all = all && keep[i]
+	}
+	if all {
+		return s, nil
+	}
+	used := make([]bool, s.NumVertices())
+	kept := 0
+	for i, f := range facets {
+		if !keep[i] {
+			continue
+		}
+		kept++
+		for _, v := range f {
+			used[v] = true
+		}
+	}
+	if kept == 0 {
+		// Cannot happen for the models in internal/model (each accepts at
+		// least one partition of every size), but a hostile filter could
+		// empty a level; refuse rather than hand back a base-less shell.
+		return nil, fmt.Errorf("topology: RestrictSDS filter rejected every facet")
+	}
+	out := NewSubdivision(s.Base())
+	remap := make([]Vertex, s.NumVertices())
+	for v := 0; v < s.NumVertices(); v++ {
+		if !used[v] {
+			continue
+		}
+		w, err := out.AddVertex(s.Key(Vertex(v)), s.Color(Vertex(v)))
+		if err != nil {
+			return nil, fmt.Errorf("topology: RestrictSDS: %w", err)
+		}
+		out.SetCarrier(w, s.Carrier(Vertex(v)))
+		remap[v] = w
+	}
+	mapped := make([]Vertex, 0, 8)
+	for i, f := range facets {
+		if !keep[i] {
+			continue
+		}
+		mapped = mapped[:0]
+		for _, v := range f {
+			mapped = append(mapped, remap[v])
+		}
+		if err := out.AddSimplex(mapped...); err != nil {
+			return nil, fmt.Errorf("topology: RestrictSDS: %w", err)
+		}
+	}
+	return out.Seal(), nil
+}
+
+// SDSRestricted returns R(c): one standard chromatic subdivision of c
+// restricted to the facets accepted by the filter. With a nil filter it is
+// exactly SDS(c) — the same object SDS would return.
+func SDSRestricted(c *Complex, accept FacetFilter) (*Complex, error) {
+	return RestrictSDS(SDS(c), accept)
+}
+
+// SDSRestrictedPow returns R^b(c), the b-fold iterated restricted
+// subdivision: each level is one SDS application with the filter applied
+// before the next. SDSRestrictedPow(c, b, nil) equals SDSPow(c, b).
+func SDSRestrictedPow(c *Complex, b int, accept FacetFilter) (*Complex, error) {
+	for i := 0; i < b; i++ {
+		var err error
+		c, err = SDSRestricted(c, accept)
+		if err != nil {
+			return nil, fmt.Errorf("topology: restricted level %d: %w", i+1, err)
+		}
+	}
+	return c, nil
+}

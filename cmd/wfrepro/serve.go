@@ -1,14 +1,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"waitfree/internal/cluster"
 	"waitfree/internal/engine"
 	"waitfree/internal/faultfs"
+	"waitfree/internal/netfault"
 	"waitfree/internal/serve"
 )
 
@@ -33,9 +37,13 @@ func cmdServe(args []string) error {
 	brkCooldown := fs.Duration("breaker-cooldown", 0, "quiet period before the breaker recovers (0 = default)")
 	faultSeed := fs.Int64("faultseed", 0, "DEV ONLY: inject deterministic storage faults into the spill tier with this seed (0 = off)")
 	faultRate := fs.Float64("faultrate", 0, "DEV ONLY: per-op fault probability for -faultseed (0 = default 0.1)")
-	peers := fs.String("peers", "", "comma-separated static peer list (incl. or excl. this node) — enables cluster mode")
+	peers := fs.String("peers", "", "comma-separated seed peer list (incl. or excl. this node) — enables cluster mode; gossip discovers the rest")
 	advertise := fs.String("advertise", "", "this node's address as it appears in -peers (default: -addr)")
 	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per peer on the hash ring")
+	gossipEvery := fs.Duration("gossip-interval", 0, "membership gossip cadence (0 = default)")
+	netfaultSeed := fs.Int64("netfaultseed", 0, "DEV ONLY: inject deterministic network faults into cluster traffic with this seed (0 = off)")
+	netfaultRate := fs.Float64("netfaultrate", -1, "DEV ONLY: per-op fault probability for -netfaultseed (negative = default 0.1, 0 = partitions only)")
+	netPartition := fs.String("netpartition", "", "DEV ONLY: standing partition spec, e.g. 'a:1|b:1,c:1' or 'a:1->b:1' (arms the adversary even without -netfaultseed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,17 +60,47 @@ func cmdServe(args []string) error {
 	eng := engine.New(eo)
 
 	var cl *cluster.Cluster
+	var nft *netfault.Transport
 	if *peers != "" {
 		self := *advertise
 		if self == "" {
 			self = *addr
 		}
+		var client *http.Client
+		if *netfaultSeed != 0 || *netPartition != "" {
+			// The network adversary, same contract as -faultseed for disk and
+			// the scheduler's -seed: the fault plan is a pure function of
+			// (seed, rate, src, dst, op-index), printed up front per peer so a
+			// failure report can quote the exact schedule that produced it.
+			nft = netfault.New(nil, self, netfault.Options{Seed: *netfaultSeed, Rate: *netfaultRate})
+			if err := nft.SetPartition(*netPartition); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wfrepro serve: DEV network fault injection active\n")
+			if *netfaultSeed != 0 {
+				for _, p := range strings.Split(*peers, ",") {
+					dst := cluster.NormalizeAddr(p)
+					if dst == "" || dst == cluster.NormalizeAddr(self) {
+						continue
+					}
+					fmt.Fprint(os.Stderr, nft.PlanString(self, dst, 8))
+				}
+			}
+			client = &http.Client{Timeout: 30 * time.Second, Transport: nft}
+		}
 		var err error
 		cl, err = cluster.New(cluster.Options{
-			Self:    self,
-			Peers:   strings.Split(*peers, ","),
-			VNodes:  *vnodes,
-			Metrics: eng.Metrics(),
+			Self:           self,
+			Peers:          strings.Split(*peers, ","),
+			VNodes:         *vnodes,
+			GossipInterval: *gossipEvery,
+			Client:         client,
+			Metrics:        eng.Metrics(),
+			// Anti-entropy admission and the cost-derived fetch bound both
+			// come from the engine: the cluster moves bytes, the engine
+			// decides what they may cost and whether they decode.
+			Admitter:   eng,
+			FetchLimit: eng.FetchByteLimit,
 		})
 		if err != nil {
 			return err
@@ -86,7 +124,8 @@ func cmdServe(args []string) error {
 			Window:    *brkWindow,
 			Cooldown:  *brkCooldown,
 		},
-		Cluster: cl,
+		Cluster:  cl,
+		NetFault: nft,
 	})
 
 	ctx, stop := signalContext()
@@ -108,6 +147,16 @@ func cmdServe(args []string) error {
 		return err
 	}
 	err := <-errc
+	if cl != nil {
+		// Graceful leave, after the listener has drained: announce the
+		// departure at a bumped incarnation so peers remap the ring now
+		// instead of after a suspicion timeout. Best-effort on a fresh
+		// context — the signal context is already canceled.
+		leaveCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		cl.Leave(leaveCtx)
+		cancel()
+		fmt.Println("wfrepro serve: announced leave to cluster")
+	}
 	if err == nil {
 		fmt.Println("wfrepro serve: drained, bye")
 	}

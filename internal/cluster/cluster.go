@@ -6,8 +6,10 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -34,36 +36,102 @@ const (
 	HeaderTraceID = "X-Trace-Id"
 )
 
-// PeerState is a peer's health as seen by this node.
+// Peer-internal endpoints. All of them live under /v1/peer/ so the serving
+// layer can mount them together when cluster mode is on.
+const (
+	// ArtifactPath serves encoded artifacts by cache key; the key rides
+	// path-escaped in the last segment.
+	ArtifactPath = "/v1/peer/artifact/"
+	// GossipPath exchanges membership views: POST a GossipMsg, receive the
+	// responder's view back. One round trip merges both directions.
+	GossipPath = "/v1/peer/gossip"
+	// ProbePath asks a node to probe a third node on the caller's behalf
+	// (?target=addr) — the indirect-probe leg that keeps an asymmetric
+	// partition from condemning a reachable peer.
+	ProbePath = "/v1/peer/probe"
+	// KeysPath lists the responder's finished cache keys, for the
+	// anti-entropy pass that restores warmth after an ownership change.
+	KeysPath = "/v1/peer/keys"
+)
+
+// PeerState is a member's health as seen by this node.
 type PeerState string
 
 const (
-	// PeerUp: the last probe (or peer exchange) succeeded.
+	// PeerUp: the last interaction (probe, gossip, fill) succeeded.
 	PeerUp PeerState = "up"
 	// PeerSuspect: exactly one consecutive failure — still routed to, so a
 	// single dropped probe costs nothing.
 	PeerSuspect PeerState = "suspect"
-	// PeerDown: two or more consecutive failures — excluded from routing
-	// and fills until a probe succeeds; probes back off exponentially.
+	// PeerDown: two or more consecutive failures (the second confirmed by
+	// indirect probes when available) — excluded from the ring and from
+	// fills until an interaction succeeds; probes back off with jitter.
 	PeerDown PeerState = "down"
+	// PeerLeft: the member announced a graceful leave at its current
+	// incarnation. Terminal for that incarnation — rejoining nodes come
+	// back with a higher one.
+	PeerLeft PeerState = "left"
 )
 
-// Probe defaults: fast enough that a killed node stops receiving forwards
-// within a couple of seconds, slow enough that probing three peers is noise.
+// stateRank orders states for same-incarnation gossip merges: with equal
+// incarnations the worse claim wins (SWIM's precedence), so a suspicion is
+// never shouted down by a stale "up" — only the member itself can refute it,
+// by bumping its incarnation.
+func stateRank(s PeerState) int {
+	switch s {
+	case PeerUp:
+		return 0
+	case PeerSuspect:
+		return 1
+	case PeerDown:
+		return 2
+	case PeerLeft:
+		return 3
+	}
+	return -1
+}
+
+// eligible reports whether a state keeps a member on the ring. Suspects stay:
+// one dropped probe must not remap 1/N of the keyspace.
+func eligible(s PeerState) bool { return s == PeerUp || s == PeerSuspect }
+
+// Defaults: probing fast enough that a killed node stops receiving forwards
+// within a couple of seconds, gossip fast enough that membership converges in
+// a few rounds, and a handoff window long enough to cover the gossip+probe
+// convergence during which two ring views coexist.
 const (
 	DefaultProbeInterval    = 2 * time.Second
 	DefaultProbeTimeout     = 1 * time.Second
 	DefaultMaxProbeInterval = 30 * time.Second
+	DefaultGossipInterval   = 1 * time.Second
+	DefaultHandoffWindow    = 30 * time.Second
+	DefaultIndirectProbes   = 2
+	// GossipFanout is how many random live peers each gossip round contacts.
+	GossipFanout = 2
+	// DefaultFetchLimit bounds a peer artifact body when no cost-based limit
+	// is installed. Artifacts are small DTO encodings; 8 MiB is generous.
+	DefaultFetchLimit = 8 << 20
 )
+
+// Admitter is what anti-entropy needs from the engine: a way to ask whether
+// a key is already warm and to admit a verified encoded artifact. The
+// cluster stays ignorant of codecs; the engine stays ignorant of rings.
+type Admitter interface {
+	HasCached(key string) bool
+	// AdmitEncoded decodes and admits payload under key, reporting whether
+	// it was accepted. The payload is content-address-verified by the caller
+	// but still untrusted input: a decode failure is a rejection, not a crash.
+	AdmitEncoded(key string, payload []byte) bool
+}
 
 // Options configures a cluster node.
 type Options struct {
 	// Self is this node's advertise address as it appears in the peer list
 	// (scheme optional; "http://" is assumed). Required.
 	Self string
-	// Peers is the full static membership, self included or not — self is
-	// always added. Every node must be given the same set for placement to
-	// agree.
+	// Peers is the seed membership, self included or not — self is always
+	// added. Unlike the static-ring era this need not be the full cluster:
+	// gossip discovers the rest from any one live seed.
 	Peers []string
 	// VNodes is the virtual-node count per physical node; 0 = DefaultVNodes.
 	VNodes int
@@ -73,39 +141,68 @@ type Options struct {
 	ProbeTimeout time.Duration
 	// MaxProbeInterval caps the probe backoff for down peers; 0 = default.
 	MaxProbeInterval time.Duration
-	// Client is the HTTP client for probes, fills, and forwards; nil = a
-	// dedicated client with a 30s overall timeout.
+	// GossipInterval is the membership-exchange cadence; 0 = default.
+	GossipInterval time.Duration
+	// HandoffWindow is how long the previous ring stays a fetch fallback
+	// after an epoch change; 0 = default.
+	HandoffWindow time.Duration
+	// IndirectProbes is how many live peers are asked to confirm a suspect
+	// before it is marked down; 0 = default, negative = disabled.
+	IndirectProbes int
+	// Incarnation overrides this node's starting incarnation (tests).
+	// 0 = wall-clock UnixNano, so a restarted node outbids its old records.
+	Incarnation int64
+	// FetchLimit returns the max acceptable artifact size for a key;
+	// nil or non-positive returns fall back to DefaultFetchLimit.
+	FetchLimit func(key string) int64
+	// Admitter enables the anti-entropy pass; nil disables it.
+	Admitter Admitter
+	// Client is the HTTP client for probes, gossip, fills, and forwards;
+	// nil = a dedicated client with a 30s overall timeout.
 	Client *http.Client
-	// Metrics receives the cluster counters (cluster_peer_down_total,
-	// cluster_peer_fill_sha_mismatch); nil = a private, unexported set.
+	// Metrics receives the cluster counters; nil = a private set.
 	Metrics *engine.Metrics
 }
 
-// peer is one remote node's tracked health. All fields are guarded by the
-// cluster mutex — peer counts are tiny and the hot path reads one state.
-type peer struct {
-	url       string
-	state     PeerState
-	fails     int
-	nextProbe time.Time
+// member is one node's tracked membership record (self included). All fields
+// are guarded by the cluster mutex — member counts are tiny and the hot path
+// reads one state.
+type member struct {
+	addr        string
+	incarnation int64
+	state       PeerState
+	fails       int
+	nextProbe   time.Time
+	transition  time.Time // last state change, for healthz age reporting
 }
 
-// Cluster is this node's view of the shard ring: placement (immutable,
-// agreed by construction) plus peer health (local, converging by probing).
-// All methods are safe for concurrent use.
+// Cluster is this node's view of the shard ring: membership (converging by
+// gossip and probing) and placement (rebuilt per membership epoch, with the
+// previous ring kept as a bounded-window fetch fallback so ownership
+// transitions don't cold-start). All methods are safe for concurrent use.
 type Cluster struct {
 	self    string
-	ring    *Ring
 	client  *http.Client
 	metrics *engine.Metrics
 
 	probeInterval    time.Duration
 	probeTimeout     time.Duration
 	maxProbeInterval time.Duration
+	gossipInterval   time.Duration
+	handoffWindow    time.Duration
+	indirectProbes   int
+	vnodes           int
+	fetchLimit       func(key string) int64
+	admit            Admitter
 	now              func() time.Time // injectable clock for tests
 
-	mu    sync.Mutex
-	peers map[string]*peer // remote nodes only
+	mu        sync.Mutex
+	rng       *rand.Rand // lazily seeded from the injectable clock
+	members   map[string]*member
+	epoch     uint64
+	ring      *Ring
+	prevRing  *Ring     // ring before the last epoch change, or nil
+	prevUntil time.Time // when prevRing stops being a fetch fallback
 }
 
 // NormalizeAddr canonicalizes a node address: trims whitespace and adds the
@@ -122,35 +219,29 @@ func NormalizeAddr(addr string) string {
 	return strings.TrimRight(addr, "/")
 }
 
-// New builds a cluster node. The ring is built over the normalized union of
-// Peers and Self; peers other than self start optimistically "up" and
-// converge to their real state by probing (or passively, from forward and
-// fill failures).
+// New builds a cluster node. The initial ring covers the normalized union of
+// Peers and Self; seed peers start optimistically "up" at incarnation 0 and
+// converge to their real incarnation and state by gossip and probing.
 func New(o Options) (*Cluster, error) {
 	self := NormalizeAddr(o.Self)
 	if self == "" {
 		return nil, fmt.Errorf("cluster: Self (advertise address) is required")
 	}
-	nodes := []string{self}
-	for _, p := range o.Peers {
-		if n := NormalizeAddr(p); n != "" {
-			nodes = append(nodes, n)
-		}
-	}
-	ring, err := NewRing(nodes, o.VNodes)
-	if err != nil {
-		return nil, err
-	}
 	c := &Cluster{
 		self:             self,
-		ring:             ring,
 		client:           o.Client,
 		metrics:          o.Metrics,
 		probeInterval:    o.ProbeInterval,
 		probeTimeout:     o.ProbeTimeout,
 		maxProbeInterval: o.MaxProbeInterval,
+		gossipInterval:   o.GossipInterval,
+		handoffWindow:    o.HandoffWindow,
+		indirectProbes:   o.IndirectProbes,
+		vnodes:           o.VNodes,
+		fetchLimit:       o.FetchLimit,
+		admit:            o.Admitter,
 		now:              time.Now,
-		peers:            make(map[string]*peer),
+		members:          make(map[string]*member),
 	}
 	if c.client == nil {
 		c.client = &http.Client{Timeout: 30 * time.Second}
@@ -167,11 +258,36 @@ func New(o Options) (*Cluster, error) {
 	if c.maxProbeInterval <= 0 {
 		c.maxProbeInterval = DefaultMaxProbeInterval
 	}
-	for _, n := range ring.Nodes() {
-		if n != self {
-			c.peers[n] = &peer{url: n, state: PeerUp}
+	if c.gossipInterval <= 0 {
+		c.gossipInterval = DefaultGossipInterval
+	}
+	if c.handoffWindow <= 0 {
+		c.handoffWindow = DefaultHandoffWindow
+	}
+	if c.indirectProbes == 0 {
+		c.indirectProbes = DefaultIndirectProbes
+	} else if c.indirectProbes < 0 {
+		c.indirectProbes = 0
+	}
+	if c.vnodes <= 0 {
+		c.vnodes = DefaultVNodes
+	}
+	selfInc := o.Incarnation
+	if selfInc == 0 {
+		selfInc = time.Now().UnixNano()
+	}
+	now := time.Now()
+	c.members[self] = &member{addr: self, incarnation: selfInc, state: PeerUp, transition: now}
+	for _, p := range o.Peers {
+		n := NormalizeAddr(p)
+		if n == "" || n == self {
+			continue
+		}
+		if _, ok := c.members[n]; !ok {
+			c.members[n] = &member{addr: n, state: PeerUp, transition: now}
 		}
 	}
+	c.rebuildRingLocked() // epoch 0 → 1; no previous ring to hand off from
 	return c, nil
 }
 
@@ -182,83 +298,193 @@ func (c *Cluster) Self() string { return c.self }
 // with probes and fills so connection pools are reused).
 func (c *Cluster) Client() *http.Client { return c.client }
 
-// Ring exposes the placement ring (tests, healthz).
-func (c *Cluster) Ring() *Ring { return c.ring }
+// Metrics returns the counter set receiving the cluster metrics.
+func (c *Cluster) Metrics() *engine.Metrics { return c.metrics }
 
-// Owner returns the node owning key and whether that node is this one.
+// Ring exposes the current placement ring (tests, healthz). The returned
+// ring is immutable; membership changes swap in a new one.
+func (c *Cluster) Ring() *Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring
+}
+
+// Epoch returns the local membership epoch: a monotone counter bumped every
+// time the ring-eligible member set changes. Epochs are local — two nodes
+// that took different paths to the same membership hold different counters —
+// so cross-node convergence is asserted on MembersHash, not on Epoch.
+func (c *Cluster) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// MembersHash fingerprints the ring-eligible member set: the first 8 bytes
+// of the SHA-256 over the sorted member list. Two nodes agree on placement
+// iff their hashes agree, which is what the partition-heal tests assert.
+func (c *Cluster) MembersHash() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return membersHash(c.ring.nodes)
+}
+
+func membersHash(nodes []string) string {
+	sum := sha256.Sum256([]byte(strings.Join(nodes, ",")))
+	return hex.EncodeToString(sum[:8])
+}
+
+// rngLocked lazily seeds the jitter source from the injectable clock, so
+// tests that pin c.now get a reproducible jitter stream. Callers hold c.mu.
+func (c *Cluster) rngLocked() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.now().UnixNano()))
+	}
+	return c.rng
+}
+
+// rebuildRingLocked rebuilds placement over the currently eligible members.
+// If the eligible set actually changed, the epoch advances and the old ring
+// is retained for the handoff window. Callers hold c.mu.
+func (c *Cluster) rebuildRingLocked() {
+	elig := make([]string, 0, len(c.members))
+	for a, m := range c.members {
+		if eligible(m.state) {
+			elig = append(elig, a)
+		}
+	}
+	if len(elig) == 0 {
+		// Never an empty ring: a node that outlives its whole membership
+		// view serves alone, which is exactly the degrade-to-independent
+		// invariant.
+		elig = []string{c.self}
+	}
+	ring, err := NewRing(elig, c.vnodes)
+	if err != nil {
+		return // unreachable: elig is non-empty
+	}
+	if c.ring != nil {
+		if membersHash(c.ring.nodes) == membersHash(ring.nodes) {
+			return
+		}
+		c.prevRing = c.ring
+		c.prevUntil = c.now().Add(c.handoffWindow)
+	}
+	c.ring = ring
+	c.epoch++
+	c.metrics.Inc("cluster_membership_epoch")
+}
+
+// Owner returns the node owning key on the current ring and whether that
+// node is this one.
 func (c *Cluster) Owner(key string) (node string, self bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	node = c.ring.Owner(key)
 	return node, node == c.self
 }
 
-// State returns a peer's health ("up" for self — we answered, after all).
+// State returns a member's health ("up" for self — we answered, after all;
+// "down" for nodes we have never heard of).
 func (c *Cluster) State(node string) PeerState {
-	if node == c.self {
-		return PeerUp
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if p := c.peers[node]; p != nil {
-		return p.state
+	if m := c.members[node]; m != nil {
+		return m.state
 	}
 	return PeerDown
 }
 
 // Available reports whether node is worth routing to: up or suspect. Down
-// peers are skipped entirely until a probe succeeds.
-func (c *Cluster) Available(node string) bool { return c.State(node) != PeerDown }
+// and departed peers are skipped entirely until an interaction succeeds.
+func (c *Cluster) Available(node string) bool {
+	s := c.State(node)
+	return s == PeerUp || s == PeerSuspect
+}
 
-// MarkFailure records a failed interaction with node (probe, forward, or
-// fill transport error): one failure makes it suspect, two make it down.
+// Known reports whether node is a tracked member (any state). The
+// indirect-probe relay uses it to refuse probing arbitrary addresses.
+func (c *Cluster) Known(node string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.members[node]
+	return ok
+}
+
+// setStateLocked transitions a member, stamping the transition time and
+// rebuilding the ring when the change crosses the eligibility boundary.
+// Callers hold c.mu.
+func (c *Cluster) setStateLocked(m *member, s PeerState) {
+	if m.state == s {
+		return
+	}
+	wasEligible := eligible(m.state)
+	m.state = s
+	m.transition = c.now()
+	if eligible(s) != wasEligible {
+		c.rebuildRingLocked()
+	}
+}
+
+// MarkFailure records a failed interaction with node (probe, gossip, forward,
+// or fill transport error): one failure makes it suspect, two make it down.
 // Passive marking is what lets a killed owner stop receiving forwards after
 // a single failed request instead of a full probe cycle.
 func (c *Cluster) MarkFailure(node string) {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p := c.peers[node]
-	if p == nil {
+	m := c.members[node]
+	if m == nil || node == c.self || m.state == PeerLeft {
 		return
 	}
-	p.fails++
+	m.fails++
 	switch {
-	case p.fails == 1:
-		p.state = PeerSuspect
-	case p.fails >= 2:
-		if p.state != PeerDown {
+	case m.fails == 1:
+		c.setStateLocked(m, PeerSuspect)
+	case m.fails >= 2:
+		if m.state != PeerDown {
 			c.metrics.Inc("cluster_peer_down_total")
 		}
-		p.state = PeerDown
+		c.setStateLocked(m, PeerDown)
 	}
-	// Exponential probe backoff: 1×, 2×, 4×, … the probe interval, capped.
+	// Exponential probe backoff with full jitter: the deterministic schedule
+	// is 1×, 2×, 4×, … the probe interval, capped; the actual delay is drawn
+	// uniformly from [interval, schedule] so N nodes that condemned a peer in
+	// the same instant don't re-probe it in lockstep and thunder it the
+	// moment it heals.
 	backoff := c.probeInterval
-	for i := 1; i < p.fails && backoff < c.maxProbeInterval; i++ {
+	for i := 1; i < m.fails && backoff < c.maxProbeInterval; i++ {
 		backoff *= 2
 	}
 	if backoff > c.maxProbeInterval {
 		backoff = c.maxProbeInterval
 	}
-	p.nextProbe = now.Add(backoff)
+	if span := int64(backoff - c.probeInterval); span > 0 {
+		backoff = c.probeInterval + time.Duration(c.rngLocked().Int63n(span+1))
+	}
+	m.nextProbe = now.Add(backoff)
 }
 
 // MarkSuccess records a successful interaction with node, recovering it to
-// up and resetting the probe backoff.
+// up and resetting the probe backoff. Departed members stay left — a node
+// that said goodbye at incarnation i only returns with incarnation > i,
+// which arrives by gossip, not by answering a stray probe.
 func (c *Cluster) MarkSuccess(node string) {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p := c.peers[node]
-	if p == nil {
+	m := c.members[node]
+	if m == nil || node == c.self || m.state == PeerLeft {
 		return
 	}
-	p.state = PeerUp
-	p.fails = 0
-	p.nextProbe = now.Add(c.probeInterval)
+	m.fails = 0
+	c.setStateLocked(m, PeerUp)
+	m.nextProbe = now.Add(c.probeInterval)
 }
 
-// Start launches the background health prober; it stops when ctx is done.
-// One immediate pass runs synchronously in the prober goroutine so a node
-// that boots into a dead cluster converges without waiting a full interval.
+// Start launches the background loops: the health prober, the gossip
+// exchanger (whose first round is the join announcement), and the
+// anti-entropy warmer. All stop when ctx is done.
 func (c *Cluster) Start(ctx context.Context) {
 	go func() {
 		c.probeAll(ctx)
@@ -275,15 +501,32 @@ func (c *Cluster) Start(ctx context.Context) {
 			}
 		}
 	}()
+	go func() {
+		c.gossipOnce(ctx) // join: announce ourselves through any live seed
+		t := time.NewTicker(c.gossipInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.gossipOnce(ctx)
+			}
+		}
+	}()
+	go c.antiEntropyLoop(ctx)
 }
 
 // probeAll probes every peer whose nextProbe time has arrived.
 func (c *Cluster) probeAll(ctx context.Context) {
 	now := c.now()
 	c.mu.Lock()
-	due := make([]string, 0, len(c.peers))
-	for n, p := range c.peers {
-		if !p.nextProbe.After(now) {
+	due := make([]string, 0, len(c.members))
+	for n, m := range c.members {
+		if n == c.self || m.state == PeerLeft {
+			continue
+		}
+		if !m.nextProbe.After(now) {
 			due = append(due, n)
 		}
 	}
@@ -296,53 +539,154 @@ func (c *Cluster) probeAll(ctx context.Context) {
 	}
 }
 
-// probe GETs a peer's /healthz. Any 2xx-5xx response counts as alive — a
-// degraded peer still serves its cache, which is all a fill needs; only a
-// transport-level failure (refused, timeout) marks it failing.
+// probe checks one peer directly and, before letting a failure condemn a
+// suspect to down, asks up to indirectProbes live peers to try on our
+// behalf — so an asymmetric partition between us and the target doesn't
+// remap its keyspace while everyone else can still reach it.
 func (c *Cluster) probe(ctx context.Context, node string) {
+	if err := c.DirectProbe(ctx, node); err == nil {
+		c.MarkSuccess(node)
+		return
+	}
+	if c.State(node) == PeerSuspect && c.indirectProbes > 0 {
+		if c.indirectProbe(ctx, node) {
+			c.metrics.Inc("cluster_probe_indirect_ok")
+			c.MarkSuccess(node)
+			return
+		}
+	}
+	c.MarkFailure(node)
+}
+
+// DirectProbe GETs a node's /healthz within the probe timeout. Any 2xx-5xx
+// response counts as alive — a degraded peer still serves its cache, which
+// is all a fill needs; only a transport-level failure (refused, timeout)
+// reports an error. Exported for the serving layer's indirect-probe relay.
+func (c *Cluster) DirectProbe(ctx context.Context, node string) error {
 	pctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, node+"/healthz", nil)
 	if err != nil {
-		c.MarkFailure(node)
-		return
+		return err
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		c.MarkFailure(node)
-		return
+		return err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	c.MarkSuccess(node)
+	return nil
 }
 
-// Snapshot is the /healthz "cluster" section: membership, placement size,
-// and per-peer health.
-func (c *Cluster) Snapshot() map[string]any {
-	peers := make(map[string]string)
+// indirectProbe asks up to indirectProbes live peers to probe node; true if
+// any of them reaches it.
+func (c *Cluster) indirectProbe(ctx context.Context, node string) bool {
+	helpers := c.pickPeers(c.indirectProbes, func(m *member) bool {
+		return m.state == PeerUp && m.addr != node
+	})
+	for _, h := range helpers {
+		if ctx.Err() != nil {
+			return false
+		}
+		pctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet,
+			h+ProbePath+"?target="+url.QueryEscape(node), nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := c.client.Do(req)
+		cancel()
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNoContent {
+			return true
+		}
+	}
+	return false
+}
+
+// pickPeers returns up to n random members (never self) passing keep. The
+// shuffle draws from the clock-seeded rng so tests stay reproducible.
+func (c *Cluster) pickPeers(n int, keep func(*member) bool) []string {
 	c.mu.Lock()
-	for n, p := range c.peers {
-		peers[n] = string(p.state)
+	defer c.mu.Unlock()
+	cands := make([]string, 0, len(c.members))
+	for a, m := range c.members {
+		if a != c.self && keep(m) {
+			cands = append(cands, a)
+		}
+	}
+	sort.Strings(cands) // map order must not leak into the draw
+	c.rngLocked().Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	return cands
+}
+
+// Snapshot is the /healthz "cluster" section: membership, placement, and
+// per-member detail (incarnation, state, time since last transition) so a
+// misrouted request is diagnosable from the two nodes' snapshots alone.
+func (c *Cluster) Snapshot() map[string]any {
+	now := c.now()
+	c.mu.Lock()
+	peers := make(map[string]string)
+	detail := make(map[string]map[string]any, len(c.members))
+	for n, m := range c.members {
+		if n != c.self {
+			peers[n] = string(m.state)
+		}
+		detail[n] = map[string]any{
+			"state":       string(m.state),
+			"incarnation": m.incarnation,
+			"age_ms":      now.Sub(m.transition).Milliseconds(),
+		}
+	}
+	snap := map[string]any{
+		"self":           c.self,
+		"peer_count":     len(peers),
+		"ring_nodes":     len(c.ring.nodes),
+		"ring_points":    c.ring.Size(),
+		"vnodes":         c.ring.vnodes,
+		"peers":          peers,
+		"epoch":          c.epoch,
+		"members_hash":   membersHash(c.ring.nodes),
+		"members":        detail,
+		"handoff_active": c.prevRing != nil && now.Before(c.prevUntil),
 	}
 	c.mu.Unlock()
-	return map[string]any{
-		"self":        c.self,
-		"peer_count":  len(peers),
-		"ring_nodes":  len(c.ring.nodes),
-		"ring_points": c.ring.Size(),
-		"vnodes":      c.ring.vnodes,
-		"peers":       peers,
-	}
+	return snap
 }
 
-// ArtifactPath is the peer-internal endpoint serving encoded artifacts by
-// cache key; the key rides path-escaped in the last segment.
-const ArtifactPath = "/v1/peer/artifact/"
+// FetchCandidates returns the peers worth asking for key, in order: the
+// current owner, then — within the handoff window after an epoch change —
+// the previous owner, which is where the artifact actually lives right
+// after a membership change remaps the key. Self is never a candidate; an
+// empty slice means "this node should compute".
+func (c *Cluster) FetchCandidates(key string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cands := make([]string, 0, 2)
+	cur := c.ring.Owner(key)
+	if cur != c.self {
+		cands = append(cands, cur)
+	}
+	if c.prevRing != nil && c.now().Before(c.prevUntil) {
+		if prev := c.prevRing.Owner(key); prev != c.self && prev != cur {
+			cands = append(cands, prev)
+		}
+	}
+	return cands
+}
 
 // Fetch implements engine.PeerFiller: it retrieves the finished, encoded
-// artifact for key from the owning peer and verifies its SHA-256 content
-// address before handing it to the engine for admission.
+// artifact for key from the owning peer (or, during an ownership handoff,
+// the previous owner) and verifies its SHA-256 content address before
+// handing it to the engine for admission.
 //
 // The (nil, "", nil) return means peer fill does not apply — this node owns
 // the key itself, so the engine should compute. Any error is a fill miss:
@@ -350,16 +694,40 @@ const ArtifactPath = "/v1/peer/artifact/"
 // failed verification; the engine falls back to local compute in all cases,
 // so a sick cluster degrades to N independent nodes, never to wrong answers.
 func (c *Cluster) Fetch(ctx context.Context, key string) ([]byte, string, error) {
-	owner, self := c.Owner(key)
-	if self {
+	cands := c.FetchCandidates(key)
+	if len(cands) == 0 {
 		return nil, "", nil
 	}
-	if !c.Available(owner) {
-		return nil, "", fmt.Errorf("cluster: owner %s is %s", owner, c.State(owner))
+	var lastErr error
+	for _, owner := range cands {
+		if !c.Available(owner) {
+			lastErr = fmt.Errorf("cluster: owner %s is %s", owner, c.State(owner))
+			continue
+		}
+		body, err := c.fetchFrom(ctx, owner, key)
+		if err == nil {
+			return body, owner, nil
+		}
+		lastErr = err
+	}
+	return nil, "", lastErr
+}
+
+// fetchFrom pulls and verifies one artifact from one peer. The body read is
+// bounded by the engine's cost-based size estimate for the key (FetchLimit),
+// so a corrupt or malicious peer streaming an unbounded body costs at most
+// limit+1 bytes, never the fetcher's memory; an over-limit body is a fill
+// miss in the same taxonomy as a SHA mismatch.
+func (c *Cluster) fetchFrom(ctx context.Context, owner, key string) ([]byte, error) {
+	limit := int64(DefaultFetchLimit)
+	if c.fetchLimit != nil {
+		if l := c.fetchLimit(key); l > 0 {
+			limit = l
+		}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+ArtifactPath+url.PathEscape(key), nil)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	if tr := obs.FromContext(ctx); tr != nil {
 		req.Header.Set(HeaderTraceID, tr.ID)
@@ -367,27 +735,31 @@ func (c *Cluster) Fetch(ctx context.Context, key string) ([]byte, string, error)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.MarkFailure(owner)
-		return nil, "", fmt.Errorf("cluster: fetching %s from %s: %w", key, owner, err)
+		return nil, fmt.Errorf("cluster: fetching %s from %s: %w", key, owner, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
 		c.MarkFailure(owner)
-		return nil, "", fmt.Errorf("cluster: reading artifact %s from %s: %w", key, owner, err)
+		return nil, fmt.Errorf("cluster: reading artifact %s from %s: %w", key, owner, err)
 	}
 	// The peer answered: whatever the status, it is alive.
 	c.MarkSuccess(owner)
 	if resp.StatusCode == http.StatusNotFound {
-		return nil, "", fmt.Errorf("cluster: owner %s has no artifact for %s", owner, key)
+		return nil, fmt.Errorf("cluster: owner %s has no artifact for %s", owner, key)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, "", fmt.Errorf("cluster: owner %s returned %d for %s", owner, resp.StatusCode, key)
+		return nil, fmt.Errorf("cluster: owner %s returned %d for %s", owner, resp.StatusCode, key)
+	}
+	if int64(len(body)) > limit {
+		c.metrics.Inc("cluster_peer_fill_over_limit")
+		return nil, fmt.Errorf("cluster: artifact %s from %s exceeds the %d-byte fetch bound", key, owner, limit)
 	}
 	want := resp.Header.Get(HeaderSha256)
 	sum := sha256.Sum256(body)
 	if got := hex.EncodeToString(sum[:]); want == "" || got != want {
 		c.metrics.Inc("cluster_peer_fill_sha_mismatch")
-		return nil, "", fmt.Errorf("cluster: artifact %s from %s failed content-address verification (got sha256 %s, header %q)", key, owner, got, want)
+		return nil, fmt.Errorf("cluster: artifact %s from %s failed content-address verification (got sha256 %s, header %q)", key, owner, got, want)
 	}
-	return body, owner, nil
+	return body, nil
 }

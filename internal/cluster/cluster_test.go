@@ -208,33 +208,72 @@ func TestPeerStateTransitions(t *testing.T) {
 	}
 }
 
-// TestProbeBackoff pins the backoff math through the injectable clock: each
-// consecutive failure doubles the next-probe delay until the cap.
+// TestProbeBackoff pins the jittered backoff through the injectable clock:
+// after k consecutive failures the next-probe delay is drawn with full
+// jitter from [interval, min(2^(k-1)·interval, cap)] — several nodes that
+// condemned a peer in the same instant must not re-probe it in lockstep —
+// and the draw stream is a pure function of the injected clock, so a seeded
+// run replays exactly.
 func TestProbeBackoff(t *testing.T) {
-	c, err := New(Options{
-		Self:             "http://a:1",
-		Peers:            []string{"http://b:1"},
-		ProbeInterval:    time.Second,
-		MaxProbeInterval: 4 * time.Second,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	base := time.Unix(1000, 0)
-	c.now = func() time.Time { return base }
-	for i, want := range []time.Duration{
-		time.Second,     // 1 fail: 1×
-		2 * time.Second, // 2 fails: 2×
-		4 * time.Second, // 3 fails: 4× = cap
-		4 * time.Second, // 4 fails: capped
-	} {
-		c.MarkFailure("http://b:1")
-		c.mu.Lock()
-		got := c.peers["http://b:1"].nextProbe.Sub(base)
-		c.mu.Unlock()
-		if got != want {
-			t.Fatalf("after %d failures, backoff = %s, want %s", i+1, got, want)
+	const peer = "http://b:1"
+	mk := func(clock time.Time) *Cluster {
+		c, err := New(Options{
+			Self:             "http://a:1",
+			Peers:            []string{peer},
+			ProbeInterval:    time.Second,
+			MaxProbeInterval: 4 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
+		c.now = func() time.Time { return clock }
+		return c
+	}
+	backoffs := func(c *Cluster, n int) []time.Duration {
+		out := make([]time.Duration, n)
+		for i := range out {
+			c.MarkFailure(peer)
+			c.mu.Lock()
+			out[i] = c.members[peer].nextProbe.Sub(c.now())
+			c.mu.Unlock()
+		}
+		return out
+	}
+
+	base := time.Unix(1000, 0)
+	got := backoffs(mk(base), 6)
+	for i, ceil := range []time.Duration{
+		time.Second,     // 1 fail: 1× — no jitter span yet
+		2 * time.Second, // 2 fails: jitter over [1×, 2×]
+		4 * time.Second, // 3 fails: [1×, 4×] = cap
+		4 * time.Second, // 4+ fails: capped schedule, jitter stays
+		4 * time.Second,
+		4 * time.Second,
+	} {
+		if got[i] < time.Second || got[i] > ceil {
+			t.Fatalf("after %d failures, backoff = %s, want within [1s, %s]", i+1, got[i], ceil)
+		}
+	}
+
+	// Reproducibility: the jitter rng is seeded from the injected clock.
+	again := backoffs(mk(base), 6)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("same injected clock must replay the same jitter: draw %d = %s vs %s", i, got[i], again[i])
+		}
+	}
+
+	// A different clock seeds a different stream (jitter actually jitters).
+	other := backoffs(mk(time.Unix(2000, 0)), 6)
+	same := true
+	for i := range got {
+		if got[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different clock seeds drew identical jitter streams")
 	}
 }
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 
 	"waitfree/internal/obs"
 )
@@ -81,6 +82,81 @@ func (e *Engine) tryPeerFill(ctx context.Context, op, key string) (any, bool) {
 func (e *Engine) TryPeerFill(ctx context.Context, key string) bool {
 	_, ok := e.tryPeerFill(ctx, "route", key)
 	return ok
+}
+
+// AdmitEncoded decodes a content-address-verified encoded artifact and
+// admits it to the local store: the anti-entropy half of peer fill, where
+// the new owner pulls instead of a querier fetching. Same trust model as
+// tryPeerFill — the payload is untrusted input, a decode failure is a
+// rejection, never a crash.
+func (e *Engine) AdmitEncoded(key string, payload []byte) bool {
+	codec, ok := e.cache.codecs[kindOf(key)]
+	if !ok {
+		return false
+	}
+	v, err := codec.decode(payload)
+	if err != nil {
+		e.metrics.Inc("cluster_peer_fill_decode_errors")
+		return false
+	}
+	e.cache.Put(key, v)
+	return true
+}
+
+// CachedKeys lists up to max finished memory-tier cache keys, MRU first —
+// the inventory a rebalancing peer walks to find keys it now owns. Bounded
+// so the peer-internal listing stays one small response even on a node
+// whose cache has grown large.
+func (e *Engine) CachedKeys(max int) []string {
+	keys := e.cache.Keys()
+	if max > 0 && len(keys) > max {
+		keys = keys[:max]
+	}
+	return keys
+}
+
+// Cost-to-bytes scaling for FetchByteLimit. Artifacts are DTO encodings
+// whose size grows with the answer's combinatorics, not the search cost, so
+// the per-cost-unit allowance is deliberately generous — the bound exists to
+// stop a malicious peer streaming gigabytes, not to be tight.
+const (
+	fetchLimitBase    = 1 << 20  // floor: any artifact may be up to 1 MiB
+	fetchLimitMax     = 64 << 20 // ceiling, even for unbounded estimates
+	fetchBytesPerCost = 64
+)
+
+// FetchByteLimit bounds the acceptable encoded-artifact size for a cache
+// key, derived from the same closed-form cost estimate that prices
+// admission: keys whose parameters are recoverable from the key string
+// (cx:, conv:) scale with their Lemma 3.3 facet count; opaque keys (solve:
+// carries a spec hash, adv: an algorithm name) get the flat floor, which
+// comfortably covers their small fixed-shape DTOs.
+func (e *Engine) FetchByteLimit(key string) int64 {
+	var cost int64
+	switch kindOf(key) {
+	case "cx":
+		var n, b int
+		if _, err := fmt.Sscanf(key, "cx:n=%d:b=%d", &n, &b); err == nil {
+			if c, err := (ComplexRequest{N: n, B: b}).EstimateCost(); err == nil {
+				cost = c
+			}
+		}
+	case "conv":
+		var n, target, maxK int
+		if _, err := fmt.Sscanf(key, "conv:n=%d:target=%d:maxk=%d", &n, &target, &maxK); err == nil {
+			if c, err := (ConvergeRequest{N: n, Target: target, MaxK: maxK}).EstimateCost(); err == nil {
+				cost = c
+			}
+		}
+	}
+	limit := int64(fetchLimitBase)
+	if cost > 0 {
+		limit = satAdd(limit, satMul(cost, fetchBytesPerCost))
+	}
+	if limit > fetchLimitMax {
+		limit = fetchLimitMax
+	}
+	return limit
 }
 
 // EncodedArtifact returns the spill-codec encoding of the artifact cached

@@ -160,3 +160,107 @@ func TestEncodedArtifactRoundTrip(t *testing.T) {
 		t.Fatal("EncodedArtifact served a key kind with no codec")
 	}
 }
+
+// TestAdmitEncodedRoundTrip pins the anti-entropy admission half: the bytes
+// EncodedArtifact serves on one node, AdmitEncoded accepts on another, and
+// the admitted key answers from cache without recomputing.
+func TestAdmitEncodedRoundTrip(t *testing.T) {
+	src := New(Options{})
+	req := ComplexRequest{N: 1, B: 1}
+	want, err := src.ComplexInfo(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _, ok := src.EncodedArtifact(req.Key())
+	if !ok {
+		t.Fatal("source artifact missing")
+	}
+
+	dst := New(Options{})
+	if dst.HasCached(req.Key()) {
+		t.Fatal("fresh engine already has the key")
+	}
+	if !dst.AdmitEncoded(req.Key(), payload) {
+		t.Fatal("valid artifact rejected")
+	}
+	if !dst.HasCached(req.Key()) {
+		t.Fatal("admitted key not cached")
+	}
+	got, err := dst.ComplexInfo(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := EncodeJSON(got)
+	wantJSON, _ := EncodeJSON(want)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("admitted artifact diverged: %s vs %s", gotJSON, wantJSON)
+	}
+
+	// Untrusted input: garbage and codec-less kinds are rejections, never
+	// panics, and a decode failure is counted.
+	if dst.AdmitEncoded(req.Key(), []byte("not a gob")) {
+		t.Fatal("garbage admitted")
+	}
+	if dst.Metrics().Counter("cluster_peer_fill_decode_errors") != 1 {
+		t.Fatal("decode rejection not counted")
+	}
+	if dst.AdmitEncoded("nokind:whatever", payload) {
+		t.Fatal("codec-less kind admitted")
+	}
+}
+
+// TestCachedKeys: the inventory is MRU-first and bounded.
+func TestCachedKeys(t *testing.T) {
+	e := New(Options{})
+	for _, req := range []ComplexRequest{{N: 1, B: 1}, {N: 2, B: 1}, {N: 1, B: 2}} {
+		if _, err := e.ComplexInfo(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := e.CachedKeys(0)
+	if len(keys) < 3 {
+		t.Fatalf("CachedKeys returned %d keys, want >= 3", len(keys))
+	}
+	if keys[0] != (ComplexRequest{N: 1, B: 2}).Key() {
+		t.Fatalf("MRU key = %q, want the most recent query's", keys[0])
+	}
+	if got := e.CachedKeys(2); len(got) != 2 {
+		t.Fatalf("bounded listing returned %d keys, want 2", len(got))
+	}
+}
+
+// TestFetchByteLimit pins the cost-derived fetch bound: parseable keys scale
+// with their facet-count estimate, opaque and malformed keys get the flat
+// floor, and nothing escapes the ceiling.
+func TestFetchByteLimit(t *testing.T) {
+	e := New(Options{})
+	small := e.FetchByteLimit("cx:n=1:b=1")
+	big := e.FetchByteLimit("cx:n=3:b=3")
+	if small < fetchLimitBase {
+		t.Fatalf("limit %d below the floor", small)
+	}
+	if big <= small {
+		t.Fatalf("cost scaling inverted: cx(3,3)=%d <= cx(1,1)=%d", big, small)
+	}
+	if big > fetchLimitMax {
+		t.Fatalf("limit %d above the ceiling", big)
+	}
+	// A hostile key claiming absurd parameters saturates at the ceiling
+	// instead of overflowing into a tiny or negative bound.
+	if got := e.FetchByteLimit("cx:n=2000000000:b=2000000000"); got != fetchLimitMax {
+		t.Fatalf("absurd parameters → %d, want the %d ceiling", got, fetchLimitMax)
+	}
+	for _, opaque := range []string{
+		"solve:deadbeef:maxb=1:maxnodes=0",
+		"adv:algo=x",
+		"cx:garbage",
+		"nokind",
+	} {
+		if got := e.FetchByteLimit(opaque); got != fetchLimitBase {
+			t.Fatalf("FetchByteLimit(%q) = %d, want the flat %d floor", opaque, got, fetchLimitBase)
+		}
+	}
+	if got := e.FetchByteLimit("conv:n=2:target=1:maxk=3"); got < fetchLimitBase {
+		t.Fatalf("conv limit %d below floor", got)
+	}
+}

@@ -4,11 +4,14 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"waitfree/internal/cluster"
+	"waitfree/internal/engine"
 	"waitfree/internal/obs"
 )
 
@@ -57,6 +60,10 @@ func (s *Server) maybeForward(ctx context.Context, r *http.Request, key string) 
 	ctx, span := obs.StartSpan(ctx, "cluster.route")
 	defer span.Finish()
 	span.SetStr("cluster.owner", owner)
+	// The epoch rides next to the owner on every routing span: a misrouted
+	// request is diagnosable after the fact by comparing the two nodes'
+	// epochs at the moment the route was chosen.
+	span.SetInt("cluster.epoch", int64(cl.Epoch()))
 	if s.eng.HasCached(key) {
 		span.SetStr("cluster.route", "local_hit")
 		return nil
@@ -142,6 +149,80 @@ func (s *Server) handlePeerArtifact(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(cluster.HeaderSha256, hex.EncodeToString(sum[:]))
 	w.Header().Set(cluster.HeaderTier, tier)
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
 	m.Inc("cluster_peer_artifact_served")
 	w.Write(payload)
+}
+
+// handleGossip is the server half of a membership exchange: merge the
+// caller's view, answer with ours. The payload is bounded — a membership
+// list is a few hundred bytes per node; anything near the cap is garbage.
+func (s *Server) handleGossip(w http.ResponseWriter, r *http.Request) {
+	var msg cluster.GossipMsg
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&msg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad gossip payload: %w", err))
+		return
+	}
+	reply := s.cluster.HandleGossip(msg)
+	w.Header().Set("Content-Type", "application/json")
+	engine.WriteJSON(w, reply)
+}
+
+// handlePeerProbe is the indirect-probe relay: a peer that cannot reach a
+// suspect asks us to try (?target=addr). 204 means we reached it; 502 means
+// we couldn't either. Only known members are probed — this endpoint must
+// not be a generic request proxy.
+func (s *Server) handlePeerProbe(w http.ResponseWriter, r *http.Request) {
+	target := cluster.NormalizeAddr(r.URL.Query().Get("target"))
+	if target == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("target parameter is required"))
+		return
+	}
+	if !s.cluster.Known(target) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%s is not a known member", target))
+		return
+	}
+	s.eng.Metrics().Inc("cluster_indirect_probe_requests")
+	if err := s.cluster.DirectProbe(r.Context(), target); err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("indirect probe of %s failed: %w", target, err))
+		return
+	}
+	// Free evidence: we just reached it, so our own view recovers too.
+	s.cluster.MarkSuccess(target)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePeerKeys lists this node's finished cache keys for anti-entropy:
+// a peer that just gained ownership of part of the keyspace walks this
+// inventory and pulls what it now owns. Bounded like the artifact path —
+// strictly a cache read.
+func (s *Server) handlePeerKeys(w http.ResponseWriter, r *http.Request) {
+	s.eng.Metrics().Inc("cluster_peer_keys_requests")
+	w.Header().Set("Content-Type", "application/json")
+	engine.WriteJSON(w, map[string]any{"keys": s.eng.CachedKeys(4096)})
+}
+
+// handleNetfault is the dev-only control surface for the deterministic
+// network adversary (mounted only when serve was started with a netfault
+// transport): GET reads the current state; ?partition=<spec> installs or
+// heals a partition, ?enabled=true|false pauses the scheduled plan. This is
+// what lets CI partition three real processes mid-run without root.
+func (s *Server) handleNetfault(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if _, ok := q["partition"]; ok {
+		if err := s.netfault.SetPartition(q.Get("partition")); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if v := q.Get("enabled"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("enabled=%q is not a bool", v))
+			return
+		}
+		s.netfault.SetEnabled(on)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	engine.WriteJSON(w, s.netfault.Snapshot())
 }

@@ -37,18 +37,43 @@ func (n *clusterNode) kill() {
 	n.hs.Close()
 }
 
+// nodeConfig tunes one test member beyond bootNode's defaults: a shorter
+// gossip cadence for convergence-speed tests, a fault-injecting transport
+// for the churn soak, and a tighter client timeout so a blackholed fetch
+// fails fast instead of stalling a request for the whole serve deadline.
+type nodeConfig struct {
+	gossipInterval time.Duration     // 0 = cluster default
+	clientTimeout  time.Duration     // 0 = 5s
+	transport      http.RoundTripper // non-nil wraps every outbound cluster request
+}
+
 // bootNode starts one cluster member on ln. Probe intervals are cranked down
 // so kill/heal convergence fits in test time.
 func bootNode(t *testing.T, ln net.Listener, self string, peers []string) *clusterNode {
 	t.Helper()
+	return bootNodeCfg(t, ln, self, peers, nodeConfig{})
+}
+
+// bootNodeCfg is bootNode with the knobs the churn soak needs. The wiring
+// mirrors cmd/wfrepro exactly — admitter and fetch bound come from the
+// engine — so what the soak exercises is what production runs.
+func bootNodeCfg(t *testing.T, ln net.Listener, self string, peers []string, cfg nodeConfig) *clusterNode {
+	t.Helper()
 	eng := engine.New(engine.Options{})
+	clientTimeout := cfg.clientTimeout
+	if clientTimeout == 0 {
+		clientTimeout = 5 * time.Second
+	}
 	cl, err := cluster.New(cluster.Options{
-		Self:          self,
-		Peers:         peers,
-		ProbeInterval: 40 * time.Millisecond,
-		ProbeTimeout:  300 * time.Millisecond,
-		Metrics:       eng.Metrics(),
-		Client:        &http.Client{Timeout: 5 * time.Second},
+		Self:           self,
+		Peers:          peers,
+		ProbeInterval:  40 * time.Millisecond,
+		ProbeTimeout:   300 * time.Millisecond,
+		GossipInterval: cfg.gossipInterval,
+		Metrics:        eng.Metrics(),
+		Client:         &http.Client{Timeout: clientTimeout, Transport: cfg.transport},
+		Admitter:       eng,
+		FetchLimit:     eng.FetchByteLimit,
 	})
 	if err != nil {
 		t.Fatal(err)

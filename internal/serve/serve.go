@@ -37,6 +37,7 @@ import (
 
 	"waitfree/internal/cluster"
 	"waitfree/internal/engine"
+	"waitfree/internal/netfault"
 	"waitfree/internal/obs"
 	"waitfree/internal/solver"
 )
@@ -74,9 +75,13 @@ type Options struct {
 	Breaker BreakerOptions
 	// Cluster, when set, makes this server a shard of a hash-ring cluster:
 	// non-owned keys are peer-filled or forwarded one hop to their owner,
-	// /v1/peer/artifact/{key} serves finished artifacts to peers, and
-	// /healthz gains a cluster section. Nil = single-node mode, no change.
+	// the /v1/peer/* endpoints (artifact, gossip, probe, keys) serve peers,
+	// and /healthz gains a cluster section. Nil = single-node mode, no change.
 	Cluster *cluster.Cluster
+	// NetFault, when set, mounts the dev-only /debug/netfault control
+	// surface for the deterministic network adversary (set/heal partitions,
+	// pause the fault plan, read the injection state). Nil in production.
+	NetFault *netfault.Transport
 }
 
 // DefaultMaxConcurrent is the default in-flight request bound.
@@ -109,8 +114,9 @@ type Server struct {
 	maxCost  int64
 	degCost  int64
 	breaker  *breaker
-	cluster  *cluster.Cluster // nil in single-node mode
-	spillSum atomic.Int64     // last observed SpillFaults(), for delta polling
+	cluster  *cluster.Cluster    // nil in single-node mode
+	netfault *netfault.Transport // nil unless the adversary is armed
+	spillSum atomic.Int64        // last observed SpillFaults(), for delta polling
 }
 
 // NewServer builds a Server over eng.
@@ -141,8 +147,9 @@ func NewServer(eng *engine.Engine, o Options) *Server {
 		traces:  obs.NewRegistry(o.TraceBuffer),
 		maxCost: o.MaxCost,
 		degCost: degCost,
-		breaker: newBreaker(o.Breaker),
-		cluster: o.Cluster,
+		breaker:  newBreaker(o.Breaker),
+		cluster:  o.Cluster,
+		netfault: o.NetFault,
 	}
 }
 
@@ -164,6 +171,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.cluster != nil {
 		mux.HandleFunc("GET /v1/peer/artifact/{key}", s.handlePeerArtifact)
+		mux.HandleFunc("POST "+cluster.GossipPath, s.handleGossip)
+		mux.HandleFunc("GET "+cluster.ProbePath, s.handlePeerProbe)
+		mux.HandleFunc("GET "+cluster.KeysPath, s.handlePeerKeys)
+	}
+	if s.netfault != nil {
+		mux.HandleFunc("/debug/netfault", s.handleNetfault)
 	}
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	if s.pprofOn {
@@ -307,6 +320,7 @@ func (s *Server) instrument(name string, w http.ResponseWriter, r *http.Request,
 		status = f.status
 		root.SetStr("cluster.owner", f.owner)
 		root.SetInt("cluster.hop", 1)
+		root.SetInt("cluster.epoch", int64(s.cluster.Epoch()))
 	}
 	root.SetStr("health_state", state)
 	root.SetInt("status", int64(status))
@@ -327,6 +341,11 @@ func (s *Server) instrument(name string, w http.ResponseWriter, r *http.Request,
 			"status", status,
 			"duration_ms", float64(elapsed) / float64(time.Millisecond),
 			"repro", reproCommand(name, r),
+		}
+		if s.cluster != nil {
+			// The epoch the route was chosen under: pairs with the owner to
+			// make a misrouted slow query attributable to a stale ring view.
+			args = append(args, "epoch", s.cluster.Epoch())
 		}
 		if fwd != nil {
 			// Forwarded queries pin the route: the repro line replays the
